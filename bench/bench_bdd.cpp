@@ -1,0 +1,207 @@
+// E9 -- substrate micro-benchmarks for the BDD package (the machinery
+// Sections 2 and 4 of the paper assume from [2, 3]):
+//
+//   * ITE / apply on random function DAGs,
+//   * the fused relational product (AndExists) against the naive
+//     conjoin-then-quantify pipeline (DESIGN.md ablation),
+//   * symbolic reachability on n-bit counters (image iteration scaling),
+//   * monolithic vs conjunctively-partitioned image computation
+//     (DESIGN.md ablation) on the dining-philosophers models.
+
+#include <random>
+
+#include <benchmark/benchmark.h>
+
+#include "bdd/bdd.hpp"
+#include "models/models.hpp"
+#include "ts/transition_system.hpp"
+
+namespace {
+
+using namespace symcex;
+
+bdd::Bdd random_function(bdd::Manager& m, std::mt19937& rng,
+                         std::uint32_t vars, int terms) {
+  bdd::Bdd f = m.zero();
+  for (int t = 0; t < terms; ++t) {
+    bdd::Bdd cube = m.one();
+    for (std::uint32_t v = 0; v < vars; ++v) {
+      switch (rng() % 3) {
+        case 0:
+          cube &= m.var(v);
+          break;
+        case 1:
+          cube &= m.nvar(v);
+          break;
+        default:
+          break;
+      }
+    }
+    f |= cube;
+  }
+  return f;
+}
+
+/// Rotating operand pools keep the computed cache from reducing the loop
+/// to pure cache hits (a separate pass measures the warm-cache case).
+void BM_Ite(benchmark::State& state) {
+  const auto vars = static_cast<std::uint32_t>(state.range(0));
+  bdd::Manager m(vars);
+  std::mt19937 rng(1);
+  std::vector<bdd::Bdd> pool;
+  for (int i = 0; i < 32; ++i) pool.push_back(random_function(m, rng, vars, 16));
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(m.ite(pool[i % 32], pool[(i + 11) % 32],
+                                   pool[(i + 23) % 32]));
+    ++i;
+  }
+  state.counters["cache_hit_rate"] =
+      static_cast<double>(m.stats().cache_hits) /
+      static_cast<double>(m.stats().cache_lookups);
+}
+BENCHMARK(BM_Ite)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_Apply(benchmark::State& state) {
+  const auto vars = static_cast<std::uint32_t>(state.range(0));
+  bdd::Manager m(vars);
+  std::mt19937 rng(2);
+  std::vector<bdd::Bdd> pool;
+  for (int i = 0; i < 32; ++i) pool.push_back(random_function(m, rng, vars, 24));
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const bdd::Bdd& f = pool[i % 32];
+    const bdd::Bdd& g = pool[(i + 17) % 32];
+    benchmark::DoNotOptimize(f & g);
+    benchmark::DoNotOptimize(f | g);
+    benchmark::DoNotOptimize(f ^ g);
+    ++i;
+  }
+}
+BENCHMARK(BM_Apply)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_ApplyWarmCache(benchmark::State& state) {
+  const auto vars = static_cast<std::uint32_t>(state.range(0));
+  bdd::Manager m(vars);
+  std::mt19937 rng(2);
+  const bdd::Bdd f = random_function(m, rng, vars, 24);
+  const bdd::Bdd g = random_function(m, rng, vars, 24);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f & g);
+  }
+}
+BENCHMARK(BM_ApplyWarmCache)->Arg(32);
+
+/// The ablation pair: image computation as one fused AndExists versus
+/// explicitly building the conjunction and quantifying afterwards, on the
+/// dining-philosophers relation (wide support, nontrivial conjunction).
+void BM_RelationalProductFused(benchmark::State& state) {
+  auto m = models::dining_philosophers(
+      {.count = static_cast<std::uint32_t>(state.range(0))});
+  const bdd::Bdd states_set = m->reachable();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        m->manager().and_exists(states_set, m->trans(), m->cur_cube()));
+  }
+  state.counters["trans_dag"] = static_cast<double>(m->trans().dag_size());
+}
+BENCHMARK(BM_RelationalProductFused)->Arg(4)->Arg(6)->Arg(8);
+
+void BM_RelationalProductNaive(benchmark::State& state) {
+  auto m = models::dining_philosophers(
+      {.count = static_cast<std::uint32_t>(state.range(0))});
+  const bdd::Bdd states_set = m->reachable();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize((states_set & m->trans()).exists(m->cur_cube()));
+  }
+}
+BENCHMARK(BM_RelationalProductNaive)->Arg(4)->Arg(6)->Arg(8);
+
+/// Counter reachability: the BFS diameter is 2^width, so this measures
+/// many small image steps (and is the known worst case for symbolic BFS).
+void BM_CounterReachability(benchmark::State& state) {
+  const auto width = static_cast<std::uint32_t>(state.range(0));
+  for (auto _ : state) {
+    auto m = models::counter({.width = width});
+    benchmark::DoNotOptimize(m->reachable());
+    state.counters["states"] = m->count_states(m->reachable());
+  }
+}
+BENCHMARK(BM_CounterReachability)->Arg(6)->Arg(8)->Arg(10);
+
+void BM_PhilosopherReachability(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  for (auto _ : state) {
+    auto m = models::dining_philosophers({.count = n});
+    benchmark::DoNotOptimize(m->reachable());
+    state.counters["states"] = m->count_states(m->reachable());
+  }
+}
+BENCHMARK(BM_PhilosopherReachability)->Arg(4)->Arg(8)->Arg(12);
+
+/// Monolithic vs partitioned image on the arbiter, whose relation is a
+/// genuine conjunctive partition (one conjunct per gate / environment).
+void BM_ImageMonolithic(benchmark::State& state) {
+  auto m = models::seitz_arbiter();
+  const bdd::Bdd reach = m->reachable();
+  (void)m->trans();  // pre-build the monolithic relation
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(m->image(reach, ts::ImageMethod::kMonolithic));
+  }
+  state.counters["parts"] = static_cast<double>(m->trans_parts().size());
+  state.counters["trans_dag"] = static_cast<double>(m->trans().dag_size());
+}
+BENCHMARK(BM_ImageMonolithic);
+
+void BM_ImagePartitioned(benchmark::State& state) {
+  auto m = models::seitz_arbiter();
+  const bdd::Bdd reach = m->reachable();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(m->image(reach, ts::ImageMethod::kPartitioned));
+  }
+}
+BENCHMARK(BM_ImagePartitioned);
+
+void BM_PreimageMonolithic(benchmark::State& state) {
+  auto m = models::seitz_arbiter();
+  const bdd::Bdd reach = m->reachable();
+  (void)m->trans();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        m->preimage(reach, ts::ImageMethod::kMonolithic));
+  }
+}
+BENCHMARK(BM_PreimageMonolithic);
+
+void BM_PreimagePartitioned(benchmark::State& state) {
+  auto m = models::seitz_arbiter();
+  const bdd::Bdd reach = m->reachable();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        m->preimage(reach, ts::ImageMethod::kPartitioned));
+  }
+}
+BENCHMARK(BM_PreimagePartitioned);
+
+void BM_GarbageCollection(benchmark::State& state) {
+  for (auto _ : state) {
+    bdd::ManagerOptions options;
+    options.gc_threshold = 1u << 12;
+    bdd::Manager m(24, options);
+    std::mt19937 rng(3);
+    bdd::Bdd acc = m.zero();
+    for (int i = 0; i < 64; ++i) {
+      acc |= random_function(m, rng, 24, 4);
+    }
+    benchmark::DoNotOptimize(acc);
+    state.counters["gc_runs"] =
+        static_cast<double>(m.stats().gc_runs);
+    state.counters["peak_nodes"] =
+        static_cast<double>(m.stats().peak_nodes);
+  }
+}
+BENCHMARK(BM_GarbageCollection);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,110 @@
+// E8 -- Section 8: counterexamples for language containment between
+// Streett automata.  We build modulo-n cyclers as systems and mutate the
+// specification so that containment fails, then measure the time to find
+// and decode the counterexample word as the product grows.
+
+#include <cstdio>
+
+#include <benchmark/benchmark.h>
+
+#include "automata/streett.hpp"
+
+namespace {
+
+using namespace symcex::automata;
+
+/// System: cycles through n states on symbol 0, may also emit symbol 1
+/// as a self-loop "glitch" in state 0.  Accepts runs visiting state 0
+/// infinitely often.
+StreettAutomaton cycler(std::uint32_t n, bool with_glitch) {
+  StreettAutomaton m(n, 2, 0);
+  for (AState s = 0; s < n; ++s) m.add_transition(s, 0, (s + 1) % n);
+  if (with_glitch) m.add_transition(0, 1, 0);
+  m.add_pair({}, {0});
+  return m;
+}
+
+/// Specification: symbol 1 occurs only finitely often (deterministic,
+/// complete; Streett pair: inf(run) inside the "no recent 1" state).
+StreettAutomaton finitely_many_glitches() {
+  StreettAutomaton spec(2, 2, 0);
+  spec.add_transition(0, 0, 0);
+  spec.add_transition(0, 1, 1);
+  spec.add_transition(1, 0, 0);
+  spec.add_transition(1, 1, 1);
+  spec.add_pair({0}, {});
+  return spec;
+}
+
+void report_e8() {
+  std::printf("== E8: Streett language-containment counterexamples ==\n");
+  std::printf("%-8s %-16s %-12s %-10s %-10s %s\n", "n", "product states",
+              "contained", "cex pfx", "cex cyc", "validated");
+  for (const std::uint32_t n : {2u, 4u, 8u, 16u, 32u}) {
+    const StreettAutomaton sys = cycler(n, /*with_glitch=*/true);
+    const StreettAutomaton spec = finitely_many_glitches();
+    const ContainmentResult r = check_containment(sys, spec);
+    const char* validated = "-";
+    std::size_t pfx = 0;
+    std::size_t cyc = 0;
+    if (r.counterexample.has_value()) {
+      pfx = r.counterexample->word_prefix.size();
+      cyc = r.counterexample->word_cycle.size();
+      const bool sys_ok = sys.accepts_lasso(r.counterexample->word_prefix,
+                                            r.counterexample->word_cycle);
+      const bool spec_ok = spec.accepts_lasso(r.counterexample->word_prefix,
+                                              r.counterexample->word_cycle);
+      validated = (sys_ok && !spec_ok) ? "yes" : "NO";
+    }
+    std::printf("%-8u %-16.0f %-12s %-10zu %-10zu %s\n", n,
+                r.product_states, r.contained ? "yes" : "no", pfx, cyc,
+                validated);
+  }
+  // The glitch-free system is contained.
+  const ContainmentResult clean =
+      check_containment(cycler(8, false), finitely_many_glitches());
+  std::printf("glitch-free system: contained=%s\n\n",
+              clean.contained ? "yes" : "no");
+}
+
+void BM_ContainmentViolated(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  const StreettAutomaton sys = cycler(n, true);
+  const StreettAutomaton spec = finitely_many_glitches();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(check_containment(sys, spec));
+  }
+}
+BENCHMARK(BM_ContainmentViolated)->Arg(2)->Arg(8)->Arg(32)->Arg(64);
+
+void BM_ContainmentHolds(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  const StreettAutomaton sys = cycler(n, false);
+  const StreettAutomaton spec = finitely_many_glitches();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(check_containment(sys, spec));
+  }
+}
+BENCHMARK(BM_ContainmentHolds)->Arg(2)->Arg(8)->Arg(32)->Arg(64);
+
+void BM_AcceptsLasso(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  const StreettAutomaton sys = cycler(n, true);
+  std::vector<Symbol> prefix(n, 0);
+  std::vector<Symbol> cycle{1};
+  for (std::uint32_t i = 0; i < n; ++i) cycle.push_back(0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sys.accepts_lasso(prefix, cycle));
+  }
+}
+BENCHMARK(BM_AcceptsLasso)->Arg(8)->Arg(32)->Arg(128);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  report_e8();
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,121 @@
+// E7 -- Section 7: model checking and witness generation for the
+// restricted CTL* fragment E AND_j (GF p_j | FG q_j).
+//
+// The Emerson-Lei fixpoint nests EU computations inside a greatest
+// fixpoint, and the witness case split re-invokes the checker once per
+// mixed conjunct (the Section 9 cost remark).  We sweep the number of
+// conjuncts and the model size and report fixpoint-evaluation counts.
+
+#include <cstdio>
+
+#include <benchmark/benchmark.h>
+
+#include "core/checker.hpp"
+#include "ctlstar/star_checker.hpp"
+#include "models/models.hpp"
+#include "ts/field.hpp"
+
+namespace {
+
+using namespace symcex;
+
+/// GF conjuncts over a counter: each demands one counter value recurs.
+std::vector<ctlstar::Conjunct> gf_conjuncts(ts::TransitionSystem& m,
+                                            std::uint32_t width,
+                                            std::uint32_t count) {
+  std::vector<ctlstar::Conjunct> cs;
+  for (std::uint32_t j = 0; j < count; ++j) {
+    bdd::Bdd value = m.manager().one();
+    for (std::uint32_t b = 0; b < width; ++b) {
+      const auto v = *m.find_var("b." + std::to_string(b));
+      value &= ((j >> b) & 1u) != 0 ? m.cur(v) : !m.cur(v);
+    }
+    cs.push_back(ctlstar::Conjunct{value, m.manager().zero()});
+  }
+  return cs;
+}
+
+void report_e7() {
+  std::printf("== E7: restricted CTL* checking and witnesses (Section 7) ==\n");
+  std::printf("%-10s %-12s %-14s %-14s %s\n", "conjuncts", "holds",
+              "witness len", "fixpoint evals", "model");
+  auto m = models::counter({.width = 6});
+  for (const std::uint32_t k : {1u, 2u, 4u, 8u}) {
+    core::Checker base(*m);
+    ctlstar::StarChecker star(base);
+    const auto cs = gf_conjuncts(*m, 6, k);
+    const bdd::Bdd sat = star.check_conjunction(cs);
+    const bool holds = m->init().implies(sat);
+    std::size_t len = 0;
+    if (holds) {
+      const core::Trace t = star.conjunction_witness(cs, m->init());
+      len = t.length();
+    }
+    std::printf("%-10u %-12s %-14zu %-14zu counter-6\n", k,
+                holds ? "true" : "false", len,
+                star.fixpoint_evaluations());
+  }
+  std::printf("\n");
+}
+
+void BM_FragmentCheck(benchmark::State& state) {
+  auto m = models::counter({.width = 8});
+  core::Checker base(*m);
+  const auto cs =
+      gf_conjuncts(*m, 8, static_cast<std::uint32_t>(state.range(0)));
+  for (auto _ : state) {
+    ctlstar::StarChecker star(base);
+    benchmark::DoNotOptimize(star.check_conjunction(cs));
+  }
+}
+BENCHMARK(BM_FragmentCheck)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_FragmentWitness(benchmark::State& state) {
+  auto m = models::counter({.width = 8});
+  core::Checker base(*m);
+  const auto cs =
+      gf_conjuncts(*m, 8, static_cast<std::uint32_t>(state.range(0)));
+  for (auto _ : state) {
+    ctlstar::StarChecker star(base);
+    benchmark::DoNotOptimize(star.conjunction_witness(cs, m->init()));
+  }
+}
+BENCHMARK(BM_FragmentWitness)->Arg(1)->Arg(2)->Arg(4);
+
+void BM_MixedConjunctCaseSplit(benchmark::State& state) {
+  // Mixed GF/FG conjuncts on the arbiter force the case split to invoke
+  // the fixpoint once per conjunct.
+  auto m = models::seitz_arbiter();
+  core::Checker base(*m);
+  const auto f = ctl::parse("E (G F a2 & (F G !a1 | G F a1) & G F r2)");
+  std::size_t evals = 0;
+  for (auto _ : state) {
+    ctlstar::StarChecker star(base);
+    benchmark::DoNotOptimize(star.witness(f, m->init()));
+    evals = star.fixpoint_evaluations();
+  }
+  state.counters["fixpoint_evals"] = static_cast<double>(evals);
+}
+BENCHMARK(BM_MixedConjunctCaseSplit);
+
+void BM_FragmentOnPhilosophers(benchmark::State& state) {
+  auto m = models::dining_philosophers(
+      {.count = static_cast<std::uint32_t>(state.range(0))});
+  core::Checker base(*m);
+  const auto f = ctl::parse("E (G F eat0 & G F eat1)");
+  for (auto _ : state) {
+    ctlstar::StarChecker star(base);
+    benchmark::DoNotOptimize(star.holds(f));
+  }
+}
+BENCHMARK(BM_FragmentOnPhilosophers)->Arg(3)->Arg(4)->Arg(5);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  report_e7();
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  return 0;
+}

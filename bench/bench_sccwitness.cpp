@@ -1,0 +1,124 @@
+// E2 / E3 -- the Figure 1 / Figure 2 behaviours of the Section 6 witness
+// construction, plus the cycle-closure strategy ablation:
+//
+//   E2 (Figure 1): the start state lies in the terminal SCC; the cycle
+//       closes on the first attempt with zero restarts.
+//   E3 (Figure 2): the start state sits at the head of a transient chain;
+//       every closure attempt fails until the construction has descended
+//       the whole SCC DAG, one restart per chain state.
+//
+// The preamble prints the witness length / restart series against the
+// chain length; the timed benchmarks compare the plain-restart strategy
+// with the "slightly more sophisticated" early-exit strategy on both
+// shapes.
+
+#include <cstdio>
+
+#include <benchmark/benchmark.h>
+
+#include "core/checker.hpp"
+#include "core/witness.hpp"
+#include "models/models.hpp"
+
+namespace {
+
+using namespace symcex;
+
+void report_series() {
+  std::printf("== E2/E3: witness construction across SCCs (Figs. 1, 2) ==\n");
+  std::printf("%-10s %-12s %-10s %-10s %-10s %-10s\n", "chain", "start",
+              "restarts", "prefix", "cycle", "ring_steps");
+  for (const std::uint32_t chain : {0u, 2u, 4u, 8u, 16u, 32u}) {
+    for (const bool in_cycle : {true, false}) {
+      if (in_cycle && chain != 0) continue;  // one Figure-1 row suffices
+      auto m = models::scc_chain({.chain_len = chain,
+                                  .cycle_len = 6,
+                                  .start_in_cycle = in_cycle});
+      core::Checker ck(*m);
+      core::WitnessGenerator wg(ck);
+      const core::Trace t = wg.eg(m->manager().one(), m->init());
+      std::printf("%-10u %-12s %-10zu %-10zu %-10zu %-10zu\n", chain,
+                  in_cycle ? "in-cycle" : "head", wg.stats().restarts,
+                  t.prefix.size(), t.cycle.size(), wg.stats().ring_steps);
+    }
+  }
+  std::printf("\nstrategy ablation (chain=16, cycle=6):\n");
+  for (const auto strategy :
+       {core::CycleCloseStrategy::kRestart,
+        core::CycleCloseStrategy::kEarlyExit}) {
+    auto m = models::scc_chain({.chain_len = 16, .cycle_len = 6});
+    core::Checker ck(*m);
+    core::WitnessOptions options;
+    options.strategy = strategy;
+    core::WitnessGenerator wg(ck, options);
+    const core::Trace t = wg.eg(m->manager().one(), m->init());
+    std::printf(
+        "  %-10s restarts=%zu early_exits=%zu length=%zu\n",
+        strategy == core::CycleCloseStrategy::kRestart ? "restart"
+                                                       : "early-exit",
+        wg.stats().restarts, wg.stats().early_exits, t.length());
+  }
+  std::printf("\n");
+}
+
+void run_witness(benchmark::State& state, bool start_in_cycle,
+                 core::CycleCloseStrategy strategy) {
+  auto m = models::scc_chain(
+      {.chain_len = static_cast<std::uint32_t>(state.range(0)),
+       .cycle_len = 6,
+       .start_in_cycle = start_in_cycle});
+  core::Checker ck(*m);
+  const core::FairEG info = ck.eg_with_rings(m->manager().one());
+  std::size_t restarts = 0;
+  for (auto _ : state) {
+    core::WitnessOptions options;
+    options.strategy = strategy;
+    core::WitnessGenerator wg(ck, options);
+    benchmark::DoNotOptimize(wg.eg(info, m->manager().one(), m->init()));
+    restarts = wg.stats().restarts;
+  }
+  state.counters["restarts"] = static_cast<double>(restarts);
+}
+
+void BM_Figure1_InCycle(benchmark::State& state) {
+  run_witness(state, true, core::CycleCloseStrategy::kRestart);
+}
+BENCHMARK(BM_Figure1_InCycle)->Arg(8)->Arg(32);
+
+void BM_Figure2_Restart(benchmark::State& state) {
+  run_witness(state, false, core::CycleCloseStrategy::kRestart);
+}
+BENCHMARK(BM_Figure2_Restart)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_Figure2_EarlyExit(benchmark::State& state) {
+  run_witness(state, false, core::CycleCloseStrategy::kEarlyExit);
+}
+BENCHMARK(BM_Figure2_EarlyExit)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_RingGuided(benchmark::State& state) {
+  // With the fairness mark in the cycle, the rings bypass the chain.
+  auto m = models::scc_chain(
+      {.chain_len = static_cast<std::uint32_t>(state.range(0)),
+       .cycle_len = 6,
+       .fairness_in_cycle = true});
+  core::Checker ck(*m);
+  const core::FairEG info = ck.eg_with_rings(m->manager().one());
+  std::size_t restarts = 0;
+  for (auto _ : state) {
+    core::WitnessGenerator wg(ck);
+    benchmark::DoNotOptimize(wg.eg(info, m->manager().one(), m->init()));
+    restarts = wg.stats().restarts;
+  }
+  state.counters["restarts"] = static_cast<double>(restarts);
+}
+BENCHMARK(BM_RingGuided)->Arg(8)->Arg(32)->Arg(64);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  report_series();
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  return 0;
+}

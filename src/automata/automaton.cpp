@@ -1,0 +1,201 @@
+#include "automata/automaton.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace symcex::automata {
+
+TransitionStructure::TransitionStructure(std::uint32_t states,
+                                         std::uint32_t symbols,
+                                         AState initial_state)
+    : num_states(states),
+      num_symbols(symbols),
+      initial(initial_state),
+      transitions(states) {
+  if (states == 0 || symbols == 0) {
+    throw std::invalid_argument(
+        "TransitionStructure: empty state set or alphabet");
+  }
+  if (initial_state >= states) {
+    throw std::invalid_argument("TransitionStructure: bad initial state");
+  }
+}
+
+void TransitionStructure::add_transition(AState from, Symbol symbol,
+                                         AState to) {
+  if (from >= num_states || to >= num_states || symbol >= num_symbols) {
+    throw std::invalid_argument(
+        "TransitionStructure::add_transition: bad ids");
+  }
+  transitions[from].emplace_back(symbol, to);
+}
+
+bool TransitionStructure::is_deterministic() const {
+  for (const auto& outs : transitions) {
+    std::vector<bool> seen(num_symbols, false);
+    for (const auto& [a, t] : outs) {
+      (void)t;
+      if (seen[a]) return false;
+      seen[a] = true;
+    }
+  }
+  return true;
+}
+
+bool TransitionStructure::is_complete() const {
+  for (const auto& outs : transitions) {
+    std::vector<bool> seen(num_symbols, false);
+    for (const auto& [a, t] : outs) {
+      (void)t;
+      seen[a] = true;
+    }
+    if (!std::all_of(seen.begin(), seen.end(), [](bool b) { return b; })) {
+      return false;
+    }
+  }
+  return true;
+}
+
+AState TransitionStructure::add_completion_sink() {
+  if (is_complete()) return num_states;
+  const AState sink = num_states;
+  ++num_states;
+  transitions.emplace_back();
+  for (AState s = 0; s < num_states; ++s) {
+    std::vector<bool> seen(num_symbols, false);
+    for (const auto& [a, t] : transitions[s]) {
+      (void)t;
+      seen[a] = true;
+    }
+    for (Symbol a = 0; a < num_symbols; ++a) {
+      if (!seen[a]) transitions[s].emplace_back(a, sink);
+    }
+  }
+  return sink;
+}
+
+namespace detail {
+
+LassoProduct::LassoProduct(const TransitionStructure& automaton,
+                           const std::vector<Symbol>& prefix,
+                           const std::vector<Symbol>& cycle) {
+  if (cycle.empty()) {
+    throw std::invalid_argument("LassoProduct: empty cycle");
+  }
+  const std::size_t len = prefix.size() + cycle.size();
+  auto symbol_at = [&](std::size_t i) {
+    return i < prefix.size() ? prefix[i] : cycle[i - prefix.size()];
+  };
+  auto next_pos = [&](std::size_t i) {
+    return i + 1 < len ? i + 1 : prefix.size();
+  };
+  num_nodes = static_cast<std::size_t>(automaton.num_states) * len;
+  succ.resize(num_nodes);
+  proj.resize(num_nodes);
+  for (AState q = 0; q < automaton.num_states; ++q) {
+    for (std::size_t i = 0; i < len; ++i) {
+      const auto node = static_cast<std::uint32_t>(q * len + i);
+      proj[node] = q;
+      for (const auto& [a, t] : automaton.transitions[q]) {
+        if (a == symbol_at(i)) {
+          succ[node].push_back(
+              static_cast<std::uint32_t>(t * len + next_pos(i)));
+        }
+      }
+    }
+  }
+  reachable.assign(num_nodes, false);
+  std::vector<std::uint32_t> work{
+      static_cast<std::uint32_t>(automaton.initial * len + 0)};
+  reachable[work[0]] = true;
+  while (!work.empty()) {
+    const std::uint32_t v = work.back();
+    work.pop_back();
+    for (const std::uint32_t w : succ[v]) {
+      if (!reachable[w]) {
+        reachable[w] = true;
+        work.push_back(w);
+      }
+    }
+  }
+}
+
+std::pair<std::vector<int>, int> lasso_sccs(const LassoProduct& g,
+                                            const std::vector<bool>& in) {
+  const std::size_t n = g.num_nodes;
+  std::vector<int> comp(n, -1);
+  std::vector<int> index(n, -1);
+  std::vector<int> low(n, 0);
+  std::vector<bool> on_stack(n, false);
+  std::vector<std::uint32_t> stack;
+  struct Frame {
+    std::uint32_t v;
+    std::size_t child;
+  };
+  std::vector<Frame> call;
+  int next_index = 0;
+  int ncomp = 0;
+  for (std::uint32_t root = 0; root < n; ++root) {
+    if (!in[root] || index[root] != -1) continue;
+    call.push_back({root, 0});
+    index[root] = low[root] = next_index++;
+    stack.push_back(root);
+    on_stack[root] = true;
+    while (!call.empty()) {
+      Frame& fr = call.back();
+      const std::uint32_t v = fr.v;
+      if (fr.child < g.succ[v].size()) {
+        const std::uint32_t w = g.succ[v][fr.child++];
+        if (!in[w]) continue;
+        if (index[w] == -1) {
+          index[w] = low[w] = next_index++;
+          stack.push_back(w);
+          on_stack[w] = true;
+          call.push_back({w, 0});
+        } else if (on_stack[w]) {
+          low[v] = std::min(low[v], index[w]);
+        }
+        continue;
+      }
+      if (low[v] == index[v]) {
+        for (;;) {
+          const std::uint32_t w = stack.back();
+          stack.pop_back();
+          on_stack[w] = false;
+          comp[w] = ncomp;
+          if (w == v) break;
+        }
+        ++ncomp;
+      }
+      call.pop_back();
+      if (!call.empty()) {
+        low[call.back().v] = std::min(low[call.back().v], low[v]);
+      }
+    }
+  }
+  return {std::move(comp), ncomp};
+}
+
+std::vector<std::vector<std::uint32_t>> nontrivial_sccs(
+    const LassoProduct& g, const std::vector<bool>& in) {
+  const auto [comp, ncomp] = lasso_sccs(g, in);
+  std::vector<std::vector<std::uint32_t>> members(ncomp);
+  for (std::uint32_t v = 0; v < g.num_nodes; ++v) {
+    if (comp[v] >= 0) members[comp[v]].push_back(v);
+  }
+  std::vector<std::vector<std::uint32_t>> out;
+  for (auto& m : members) {
+    bool nontrivial = m.size() > 1;
+    if (!nontrivial) {
+      for (const std::uint32_t w : g.succ[m[0]]) {
+        if (w == m[0]) nontrivial = true;
+      }
+    }
+    if (nontrivial) out.push_back(std::move(m));
+  }
+  return out;
+}
+
+}  // namespace detail
+
+}  // namespace symcex::automata

@@ -1,0 +1,74 @@
+// SymCeX -- shared structure of explicit omega-automata.
+//
+// Every automaton type of Section 8 (Streett, Rabin, Muller, Buchi) is a
+// finite transition structure over a finite alphabet plus an acceptance
+// condition on the inf-set of a run.  TransitionStructure carries the
+// common part; the concrete classes add their acceptance and an exact
+// accepts_lasso decider (used to validate containment counterexamples).
+
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace symcex::automata {
+
+using AState = std::uint32_t;
+using Symbol = std::uint32_t;
+
+/// States, alphabet and labelled transitions of an omega-automaton.
+struct TransitionStructure {
+  std::uint32_t num_states = 0;
+  std::uint32_t num_symbols = 0;
+  AState initial = 0;
+  /// transitions[s] = list of (symbol, successor).
+  std::vector<std::vector<std::pair<Symbol, AState>>> transitions;
+
+  TransitionStructure(std::uint32_t states, std::uint32_t symbols,
+                      AState initial_state);
+
+  void add_transition(AState from, Symbol symbol, AState to);
+
+  /// At most one successor per (state, symbol)?
+  [[nodiscard]] bool is_deterministic() const;
+  /// At least one successor per (state, symbol)?
+  [[nodiscard]] bool is_complete() const;
+
+  /// Add a sink state receiving all missing (state, symbol) edges and
+  /// return its id (num_states grows by one); no-op returning the current
+  /// state count if already complete.  The caller is responsible for
+  /// making the sink rejecting in its acceptance condition.
+  AState add_completion_sink();
+};
+
+namespace detail {
+
+/// The product of an automaton with an ultimately periodic word
+/// prefix (cycle)^w: node = q * len + position.  Infinite runs of the
+/// automaton on the word are exactly the infinite paths from
+/// (initial, 0); acceptance reduces to an emptiness check on the
+/// reachable part.
+struct LassoProduct {
+  std::size_t num_nodes = 0;
+  std::vector<std::vector<std::uint32_t>> succ;
+  std::vector<AState> proj;        // node -> automaton state
+  std::vector<bool> reachable;     // from (initial, 0)
+
+  LassoProduct(const TransitionStructure& automaton,
+               const std::vector<Symbol>& prefix,
+               const std::vector<Symbol>& cycle);
+};
+
+/// Tarjan SCCs over the node subset `in`; returns (component id per node,
+/// -1 outside; number of components).
+std::pair<std::vector<int>, int> lasso_sccs(const LassoProduct& graph,
+                                            const std::vector<bool>& in);
+
+/// Nontrivial SCCs (size > 1 or a self-loop) as node lists.
+std::vector<std::vector<std::uint32_t>> nontrivial_sccs(
+    const LassoProduct& graph, const std::vector<bool>& in);
+
+}  // namespace detail
+
+}  // namespace symcex::automata

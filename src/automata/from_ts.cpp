@@ -1,0 +1,64 @@
+#include "automata/from_ts.hpp"
+
+#include <stdexcept>
+
+#include "explicit/explicit_graph.hpp"
+
+namespace symcex::automata {
+
+std::string TsToAutomaton::symbol_name(Symbol symbol) const {
+  std::string out = "{";
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (i > 0) out += ", ";
+    if ((symbol >> i & 1u) == 0) out += '!';
+    out += labels[i];
+  }
+  out += '}';
+  return out;
+}
+
+TsToAutomaton to_streett(const ts::TransitionSystem& ts,
+                         const std::vector<std::string>& labels,
+                         std::size_t max_states) {
+  if (labels.empty() || labels.size() > 16) {
+    throw std::invalid_argument("to_streett: need 1..16 labels");
+  }
+  const enumerative::Enumerated e = enumerative::enumerate(ts, max_states);
+  const std::uint32_t n = static_cast<std::uint32_t>(e.graph.num_states());
+
+  // Valuation of the chosen labels at each enumerated state.
+  std::vector<Symbol> valuation(n, 0);
+  for (std::size_t bit = 0; bit < labels.size(); ++bit) {
+    const auto it = e.graph.labels.find(labels[bit]);
+    if (it == e.graph.labels.end()) {
+      throw std::invalid_argument("to_streett: unknown label '" +
+                                  labels[bit] + "'");
+    }
+    for (std::uint32_t s = 0; s < n; ++s) {
+      if (it->second[s]) valuation[s] |= Symbol{1} << bit;
+    }
+  }
+
+  TsToAutomaton out{
+      StreettAutomaton(n + 1, Symbol{1} << labels.size(), n), labels};
+  for (std::uint32_t s = 0; s < n; ++s) {
+    for (const enumerative::StateId t : e.graph.succ[s]) {
+      out.automaton.add_transition(s, valuation[t], t);
+    }
+  }
+  for (const enumerative::StateId s0 : e.graph.init) {
+    out.automaton.add_transition(n, valuation[s0], s0);
+  }
+  // Fairness constraints become Streett pairs (empty, H_k): each must
+  // recur on accepted runs.
+  for (const auto& fair_set : e.graph.fairness) {
+    std::vector<AState> members;
+    for (std::uint32_t s = 0; s < n; ++s) {
+      if (fair_set[s]) members.push_back(s);
+    }
+    out.automaton.add_pair({}, std::move(members));
+  }
+  return out;
+}
+
+}  // namespace symcex::automata

@@ -1,0 +1,44 @@
+// SymCeX -- bridging transition systems and omega-automata (Section 8).
+//
+// The paper's language-containment methodology models "the system to be
+// verified" as an omega-automaton K_sys.  This bridge produces that
+// automaton from a (finite, enumerable) labeled transition system: the
+// automaton's states are the reachable states, a transition s -> t is
+// labelled with the valuation of the chosen atomic propositions at the
+// TARGET state t (so the emitted word is the label trace of the run,
+// offset by the initial state), and the system's fairness constraints
+// become Streett pairs (empty, H_k) -- "each constraint holds infinitely
+// often".  Checking L(sys) against a deterministic specification
+// automaton over the same label alphabet then verifies the model the
+// Section 8 way, with counterexample words mapping back to label traces.
+
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "automata/streett.hpp"
+#include "ts/transition_system.hpp"
+
+namespace symcex::automata {
+
+struct TsToAutomaton {
+  StreettAutomaton automaton;
+  /// Names of the labels, in bit order: symbol bit i (1 << i) is set when
+  /// labels[i] holds at the emitting state.
+  std::vector<std::string> labels;
+  /// Render a symbol as e.g. "{req, !ack}".
+  [[nodiscard]] std::string symbol_name(Symbol symbol) const;
+};
+
+/// Enumerate `ts` (up to max_states; throws std::length_error beyond) and
+/// build its Streett automaton over the 2^|labels| alphabet of the named
+/// labels.  Every named label must exist on the system; at most 16 labels.
+/// The result has a fresh initial state emitting the initial valuations
+/// nondeterministically (standard initial-state unrolling).
+[[nodiscard]] TsToAutomaton to_streett(const ts::TransitionSystem& ts,
+                                       const std::vector<std::string>& labels,
+                                       std::size_t max_states = 1u << 16);
+
+}  // namespace symcex::automata

@@ -1,0 +1,99 @@
+#include "automata/omega.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+namespace symcex::automata {
+
+void RabinAutomaton::add_pair(std::vector<AState> e, std::vector<AState> f) {
+  for (const AState s : e) {
+    if (s >= num_states) {
+      throw std::invalid_argument("RabinAutomaton::add_pair: bad state");
+    }
+  }
+  for (const AState s : f) {
+    if (s >= num_states) {
+      throw std::invalid_argument("RabinAutomaton::add_pair: bad state");
+    }
+  }
+  acceptance.push_back(RabinPair{std::move(e), std::move(f)});
+}
+
+void RabinAutomaton::complete() {
+  if (is_complete()) return;
+  // A run stuck in the sink satisfies no pair if the sink joins every E_i.
+  const AState sink = add_completion_sink();
+  for (auto& pr : acceptance) pr.e.push_back(sink);
+}
+
+bool RabinAutomaton::accepts_lasso(const std::vector<Symbol>& prefix,
+                                   const std::vector<Symbol>& cycle) const {
+  if (cycle.empty()) {
+    throw std::invalid_argument("accepts_lasso: empty cycle");
+  }
+  const detail::LassoProduct g(*this, prefix, cycle);
+  // Accepted iff for some pair there is a reachable nontrivial SCC of the
+  // (proj not in E)-restricted graph whose projection intersects F.
+  for (const auto& pr : acceptance) {
+    std::vector<bool> avoid_e = g.reachable;
+    for (std::uint32_t v = 0; v < g.num_nodes; ++v) {
+      if (!avoid_e[v]) continue;
+      if (std::find(pr.e.begin(), pr.e.end(), g.proj[v]) != pr.e.end()) {
+        avoid_e[v] = false;
+      }
+    }
+    for (const auto& scc : detail::nontrivial_sccs(g, avoid_e)) {
+      for (const std::uint32_t v : scc) {
+        if (std::find(pr.f.begin(), pr.f.end(), g.proj[v]) != pr.f.end()) {
+          return true;
+        }
+      }
+    }
+  }
+  return false;
+}
+
+void MullerAutomaton::add_set(std::vector<AState> inf_set) {
+  for (const AState s : inf_set) {
+    if (s >= num_states) {
+      throw std::invalid_argument("MullerAutomaton::add_set: bad state");
+    }
+  }
+  std::sort(inf_set.begin(), inf_set.end());
+  inf_set.erase(std::unique(inf_set.begin(), inf_set.end()), inf_set.end());
+  if (inf_set.empty()) {
+    throw std::invalid_argument("MullerAutomaton::add_set: empty inf-set");
+  }
+  acceptance.push_back(std::move(inf_set));
+}
+
+bool MullerAutomaton::accepts_lasso(const std::vector<Symbol>& prefix,
+                                    const std::vector<Symbol>& cycle) const {
+  if (cycle.empty()) {
+    throw std::invalid_argument("accepts_lasso: empty cycle");
+  }
+  const detail::LassoProduct g(*this, prefix, cycle);
+  // Accepted iff for some table entry M there is a reachable nontrivial
+  // SCC of the M-restricted graph whose projection is exactly M: a run
+  // cycling through the whole SCC then has inf(run) == M.
+  for (const auto& m : acceptance) {
+    std::vector<bool> in_m = g.reachable;
+    for (std::uint32_t v = 0; v < g.num_nodes; ++v) {
+      if (!in_m[v]) continue;
+      if (!std::binary_search(m.begin(), m.end(), g.proj[v])) {
+        in_m[v] = false;
+      }
+    }
+    for (const auto& scc : detail::nontrivial_sccs(g, in_m)) {
+      std::vector<bool> covered(num_states, false);
+      for (const std::uint32_t v : scc) covered[g.proj[v]] = true;
+      const bool all = std::all_of(m.begin(), m.end(),
+                                   [&](AState s) { return covered[s]; });
+      if (all) return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace symcex::automata

@@ -1,0 +1,84 @@
+// SymCeX -- Rabin and Muller automata containment (Section 8's closing
+// remark: "Counterexamples for the language inclusion problems of Buchi,
+// Muller, Rabin, and L automata can be found in essentially the same
+// way").
+//
+// Each acceptance condition compiles to a positive boolean combination of
+// GF / FG path atoms over product-state predicates:
+//
+//   Rabin  {(E_i, F_i)}:  phi = OR_i ( FG !E_i & GF F_i )
+//          (inf avoids E_i and touches F_i, for some pair)
+//   neg:                 !phi = AND_i ( GF E_i | FG !F_i )
+//
+//   Muller {M_1..M_k}:    phi = OR_j ( FG in(M_j) & AND_{s in M_j} GF s )
+//          (inf is exactly M_j: eventually only M_j states, each recurs)
+//   neg:                 !phi = AND_j ( GF !in(M_j) | OR_{s in M_j} FG !s )
+//
+// both of which land in Section 7's restricted fragment after DNF
+// expansion, so the same product construction + fragment witness pipeline
+// yields the counterexample word.
+
+#pragma once
+
+#include "automata/automaton.hpp"
+#include "automata/streett.hpp"
+
+namespace symcex::automata {
+
+/// One Rabin pair: inf(run) avoids `e` AND intersects `f`.
+struct RabinPair {
+  std::vector<AState> e;
+  std::vector<AState> f;
+};
+
+/// A Rabin automaton: a run is accepted if SOME pair is satisfied.
+struct RabinAutomaton : TransitionStructure {
+  std::vector<RabinPair> acceptance;
+
+  RabinAutomaton(std::uint32_t states, std::uint32_t symbols,
+                 AState initial_state)
+      : TransitionStructure(states, symbols, initial_state) {}
+
+  void add_pair(std::vector<AState> e, std::vector<AState> f);
+
+  /// Make complete with a rejecting sink (added to every pair's E set).
+  void complete();
+
+  [[nodiscard]] bool accepts_lasso(const std::vector<Symbol>& prefix,
+                                   const std::vector<Symbol>& cycle) const;
+};
+
+/// A Muller automaton: a run is accepted if inf(run) equals one of the
+/// sets in the acceptance table exactly.
+struct MullerAutomaton : TransitionStructure {
+  std::vector<std::vector<AState>> acceptance;
+
+  MullerAutomaton(std::uint32_t states, std::uint32_t symbols,
+                  AState initial_state)
+      : TransitionStructure(states, symbols, initial_state) {}
+
+  void add_set(std::vector<AState> inf_set);
+
+  [[nodiscard]] bool accepts_lasso(const std::vector<Symbol>& prefix,
+                                   const std::vector<Symbol>& cycle) const;
+};
+
+// -- mixed-type containment (spec deterministic and complete in all cases) --
+
+[[nodiscard]] ContainmentResult check_containment(
+    const StreettAutomaton& sys, const RabinAutomaton& spec,
+    const core::WitnessOptions& options = {});
+[[nodiscard]] ContainmentResult check_containment(
+    const RabinAutomaton& sys, const StreettAutomaton& spec,
+    const core::WitnessOptions& options = {});
+[[nodiscard]] ContainmentResult check_containment(
+    const RabinAutomaton& sys, const RabinAutomaton& spec,
+    const core::WitnessOptions& options = {});
+[[nodiscard]] ContainmentResult check_containment(
+    const StreettAutomaton& sys, const MullerAutomaton& spec,
+    const core::WitnessOptions& options = {});
+[[nodiscard]] ContainmentResult check_containment(
+    const MullerAutomaton& sys, const StreettAutomaton& spec,
+    const core::WitnessOptions& options = {});
+
+}  // namespace symcex::automata

@@ -1,0 +1,113 @@
+#include "automata/streett.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+namespace symcex::automata {
+
+void StreettAutomaton::add_pair(std::vector<AState> u, std::vector<AState> v) {
+  for (const AState s : u) {
+    if (s >= num_states) {
+      throw std::invalid_argument("StreettAutomaton::add_pair: bad state");
+    }
+  }
+  for (const AState s : v) {
+    if (s >= num_states) {
+      throw std::invalid_argument("StreettAutomaton::add_pair: bad state");
+    }
+  }
+  acceptance.push_back(StreettPair{std::move(u), std::move(v)});
+}
+
+void StreettAutomaton::complete() {
+  if (is_complete()) return;
+  // Runs stuck in the sink are rejected: the pair (all-old-states, {})
+  // forces inf(run) to avoid the sink.
+  std::vector<AState> old_states(num_states);
+  for (AState s = 0; s < num_states; ++s) old_states[s] = s;
+  (void)add_completion_sink();
+  acceptance.push_back(StreettPair{std::move(old_states), {}});
+}
+
+StreettAutomaton StreettAutomaton::buchi(std::uint32_t states,
+                                         std::uint32_t symbols,
+                                         AState initial_state,
+                                         const std::vector<AState>& accepting) {
+  StreettAutomaton a(states, symbols, initial_state);
+  a.add_pair({}, accepting);  // inf subset of {} fails, so inf must hit F
+  return a;
+}
+
+namespace {
+
+/// Does the subset contain a closed walk whose inf-set satisfies every
+/// Streett pair?  Recursive SCC refinement.
+bool streett_nonempty(const detail::LassoProduct& g,
+                      const std::vector<StreettPair>& pairs,
+                      const std::vector<bool>& subset) {
+  for (const auto& scc : detail::nontrivial_sccs(g, subset)) {
+    // Which automaton states appear in this SCC (the candidate inf-set).
+    std::size_t bound = 0;
+    for (const std::uint32_t v : scc) {
+      bound = std::max<std::size_t>(bound, g.proj[v] + 1);
+    }
+    std::vector<bool> proj_in(bound, false);
+    for (const std::uint32_t v : scc) proj_in[g.proj[v]] = true;
+    auto hits = [&](const std::vector<AState>& set) {
+      return std::any_of(set.begin(), set.end(), [&](AState s) {
+        return s < proj_in.size() && proj_in[s];
+      });
+    };
+    auto inside = [&](const std::vector<AState>& set) {
+      std::vector<bool> allowed(proj_in.size(), false);
+      for (const AState s : set) {
+        if (s < allowed.size()) allowed[s] = true;
+      }
+      for (std::size_t s = 0; s < proj_in.size(); ++s) {
+        if (proj_in[s] && !allowed[s]) return false;
+      }
+      return true;
+    };
+    std::vector<const StreettPair*> bad;
+    for (const auto& pr : pairs) {
+      if (!hits(pr.v) && !inside(pr.u)) bad.push_back(&pr);
+    }
+    if (bad.empty()) return true;  // the whole SCC is an accepting inf-set
+    // Any accepting walk in this SCC must stay inside U of every bad pair.
+    std::vector<bool> restricted(g.num_nodes, false);
+    std::size_t kept = 0;
+    for (const std::uint32_t v : scc) {
+      bool ok = true;
+      for (const StreettPair* pr : bad) {
+        if (std::find(pr->u.begin(), pr->u.end(), g.proj[v]) ==
+            pr->u.end()) {
+          ok = false;
+          break;
+        }
+      }
+      if (ok) {
+        restricted[v] = true;
+        ++kept;
+      }
+    }
+    if (kept > 0 && kept < scc.size() &&
+        streett_nonempty(g, pairs, restricted)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+bool StreettAutomaton::accepts_lasso(const std::vector<Symbol>& prefix,
+                                     const std::vector<Symbol>& cycle) const {
+  if (cycle.empty()) {
+    throw std::invalid_argument("accepts_lasso: empty cycle");
+  }
+  const detail::LassoProduct g(*this, prefix, cycle);
+  return streett_nonempty(g, acceptance, g.reachable);
+}
+
+}  // namespace symcex::automata

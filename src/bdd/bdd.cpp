@@ -1,0 +1,901 @@
+#include "bdd/bdd.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <ostream>
+#include <stdexcept>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace symcex::bdd {
+
+namespace {
+
+/// Mixes three 32-bit words into a table index seed (Jenkins-style).
+std::size_t hash3(std::uint32_t a, std::uint32_t b, std::uint32_t c) {
+  std::uint64_t x = (static_cast<std::uint64_t>(a) << 32) ^ b;
+  x ^= static_cast<std::uint64_t>(c) * 0x9E3779B97F4A7C15ull;
+  x ^= x >> 32;
+  x *= 0xFF51AFD7ED558CCDull;
+  x ^= x >> 32;
+  return static_cast<std::size_t>(x);
+}
+
+constexpr std::uint32_t kMaxRefs = std::numeric_limits<std::uint32_t>::max();
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Bdd handle
+// ---------------------------------------------------------------------------
+
+Bdd::Bdd(Manager* mgr, std::uint32_t idx) : mgr_(mgr), idx_(idx) {
+  mgr_->ref(idx_);
+}
+
+Bdd::Bdd(const Bdd& other) : mgr_(other.mgr_), idx_(other.idx_) {
+  if (mgr_ != nullptr) mgr_->ref(idx_);
+}
+
+Bdd::Bdd(Bdd&& other) noexcept : mgr_(other.mgr_), idx_(other.idx_) {
+  other.mgr_ = nullptr;
+  other.idx_ = 0;
+}
+
+Bdd& Bdd::operator=(const Bdd& other) {
+  if (this == &other) return *this;
+  if (other.mgr_ != nullptr) other.mgr_->ref(other.idx_);
+  if (mgr_ != nullptr) mgr_->deref(idx_);
+  mgr_ = other.mgr_;
+  idx_ = other.idx_;
+  return *this;
+}
+
+Bdd& Bdd::operator=(Bdd&& other) noexcept {
+  if (this == &other) return *this;
+  if (mgr_ != nullptr) mgr_->deref(idx_);
+  mgr_ = other.mgr_;
+  idx_ = other.idx_;
+  other.mgr_ = nullptr;
+  other.idx_ = 0;
+  return *this;
+}
+
+Bdd::~Bdd() {
+  if (mgr_ != nullptr) mgr_->deref(idx_);
+}
+
+bool Bdd::is_true() const { return mgr_ != nullptr && idx_ == Manager::kTrue; }
+bool Bdd::is_false() const {
+  return mgr_ != nullptr && idx_ == Manager::kFalse;
+}
+
+Bdd Bdd::operator!() const {
+  if (mgr_ == nullptr) throw std::logic_error("Bdd: operation on null handle");
+  mgr_->maybe_collect();
+  return mgr_->wrap(mgr_->not_rec(idx_));
+}
+
+Bdd Bdd::operator&(const Bdd& g) const {
+  if (mgr_ == nullptr) throw std::logic_error("Bdd: operation on null handle");
+  mgr_->check_mine(g, "operator&");
+  mgr_->maybe_collect();
+  return mgr_->wrap(mgr_->and_rec(idx_, g.idx_));
+}
+
+Bdd Bdd::operator|(const Bdd& g) const {
+  if (mgr_ == nullptr) throw std::logic_error("Bdd: operation on null handle");
+  mgr_->check_mine(g, "operator|");
+  mgr_->maybe_collect();
+  return mgr_->wrap(mgr_->or_rec(idx_, g.idx_));
+}
+
+Bdd Bdd::operator^(const Bdd& g) const {
+  if (mgr_ == nullptr) throw std::logic_error("Bdd: operation on null handle");
+  mgr_->check_mine(g, "operator^");
+  mgr_->maybe_collect();
+  return mgr_->wrap(mgr_->xor_rec(idx_, g.idx_));
+}
+
+Bdd Bdd::exists(const Bdd& cube) const {
+  if (mgr_ == nullptr) throw std::logic_error("Bdd: operation on null handle");
+  mgr_->check_mine(cube, "exists");
+  mgr_->maybe_collect();
+  return mgr_->wrap(mgr_->exists_rec(idx_, cube.idx_));
+}
+
+Bdd Bdd::forall(const Bdd& cube) const {
+  // forall x. f  ==  !exists x. !f
+  return !(!*this).exists(cube);
+}
+
+Bdd Bdd::constrain(const Bdd& care) const {
+  if (mgr_ == nullptr) throw std::logic_error("Bdd: operation on null handle");
+  mgr_->check_mine(care, "constrain");
+  if (care.is_false()) {
+    throw std::invalid_argument("Bdd::constrain: empty care set");
+  }
+  mgr_->maybe_collect();
+  return mgr_->wrap(mgr_->constrain_rec(idx_, care.idx_));
+}
+
+Bdd Bdd::minimize(const Bdd& care) const {
+  if (mgr_ == nullptr) throw std::logic_error("Bdd: operation on null handle");
+  mgr_->check_mine(care, "minimize");
+  if (care.is_false()) {
+    throw std::invalid_argument("Bdd::minimize: empty care set");
+  }
+  mgr_->maybe_collect();
+  return mgr_->wrap(mgr_->restrict_min_rec(idx_, care.idx_));
+}
+
+Bdd Bdd::compose(std::uint32_t var, const Bdd& g) const {
+  if (mgr_ == nullptr) throw std::logic_error("Bdd: operation on null handle");
+  mgr_->check_mine(g, "compose");
+  mgr_->maybe_collect();
+  return mgr_->wrap(mgr_->compose_rec(idx_, var, g.idx_));
+}
+
+Bdd Bdd::restrict_var(std::uint32_t var, bool value) const {
+  if (mgr_ == nullptr) throw std::logic_error("Bdd: operation on null handle");
+  mgr_->maybe_collect();
+  std::vector<std::uint32_t> memo;
+  return mgr_->wrap(mgr_->restrict_rec(idx_, var, value, memo));
+}
+
+std::size_t Bdd::dag_size() const {
+  if (mgr_ == nullptr) return 0;
+  std::unordered_set<std::uint32_t> seen;
+  std::vector<std::uint32_t> stack{idx_};
+  while (!stack.empty()) {
+    const std::uint32_t n = stack.back();
+    stack.pop_back();
+    if (!seen.insert(n).second) continue;
+    if (mgr_->level(n) != Manager::kTermVar) {
+      stack.push_back(mgr_->nodes_[n].lo);
+      stack.push_back(mgr_->nodes_[n].hi);
+    }
+  }
+  return seen.size();
+}
+
+std::vector<std::uint32_t> Bdd::support() const {
+  if (mgr_ == nullptr) return {};
+  std::unordered_set<std::uint32_t> seen;
+  std::unordered_set<std::uint32_t> vars;
+  std::vector<std::uint32_t> stack{idx_};
+  while (!stack.empty()) {
+    const std::uint32_t n = stack.back();
+    stack.pop_back();
+    if (!seen.insert(n).second) continue;
+    if (mgr_->level(n) == Manager::kTermVar) continue;
+    vars.insert(mgr_->nodes_[n].var);
+    stack.push_back(mgr_->nodes_[n].lo);
+    stack.push_back(mgr_->nodes_[n].hi);
+  }
+  std::vector<std::uint32_t> out(vars.begin(), vars.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+double Bdd::sat_count(std::uint32_t num_vars) const {
+  if (mgr_ == nullptr) throw std::logic_error("Bdd: operation on null handle");
+  // count(n) = number of assignments to variables strictly below n's level.
+  std::unordered_map<std::uint32_t, double> memo;
+  // Iterative post-order to avoid deep recursion on wide functions.
+  struct Frame {
+    std::uint32_t node;
+    bool expanded;
+  };
+  std::vector<Frame> stack{{idx_, false}};
+  while (!stack.empty()) {
+    auto [n, expanded] = stack.back();
+    stack.pop_back();
+    if (memo.count(n) != 0) continue;
+    if (mgr_->level(n) == Manager::kTermVar) {
+      memo[n] = (n == Manager::kTrue) ? 1.0 : 0.0;
+      continue;
+    }
+    const auto& nd = mgr_->nodes_[n];
+    if (!expanded) {
+      stack.push_back({n, true});
+      stack.push_back({nd.lo, false});
+      stack.push_back({nd.hi, false});
+      continue;
+    }
+    auto weight = [&](std::uint32_t child) {
+      const std::uint32_t child_level =
+          mgr_->level(child) == Manager::kTermVar ? num_vars
+                                                  : mgr_->level(child);
+      const std::uint32_t skipped = child_level - nd.var - 1;
+      return memo.at(child) * std::pow(2.0, static_cast<double>(skipped));
+    };
+    memo[n] = weight(nd.lo) + weight(nd.hi);
+  }
+  const std::uint32_t top_level =
+      mgr_->level(idx_) == Manager::kTermVar ? num_vars : mgr_->level(idx_);
+  return memo.at(idx_) * std::pow(2.0, static_cast<double>(top_level));
+}
+
+bool Bdd::eval(const std::vector<bool>& assignment) const {
+  if (mgr_ == nullptr) throw std::logic_error("Bdd: operation on null handle");
+  std::uint32_t n = idx_;
+  while (mgr_->level(n) != Manager::kTermVar) {
+    const auto& nd = mgr_->nodes_[n];
+    if (nd.var >= assignment.size()) {
+      throw std::invalid_argument("Bdd::eval: assignment too short");
+    }
+    n = assignment[nd.var] ? nd.hi : nd.lo;
+  }
+  return n == Manager::kTrue;
+}
+
+std::string Bdd::cube_string(const std::vector<std::string>& names) const {
+  if (mgr_ == nullptr) return "<null>";
+  if (is_true()) return "true";
+  if (is_false()) return "false";
+  std::string out;
+  std::uint32_t n = idx_;
+  while (mgr_->level(n) != Manager::kTermVar) {
+    const auto& nd = mgr_->nodes_[n];
+    const bool positive = nd.lo == Manager::kFalse;
+    const bool negative = nd.hi == Manager::kFalse;
+    if (!positive && !negative) {
+      throw std::invalid_argument("Bdd::cube_string: not a cube");
+    }
+    if (!out.empty()) out += " & ";
+    if (negative) out += '!';
+    if (nd.var < names.size() && !names[nd.var].empty()) {
+      out += names[nd.var];
+    } else {
+      out += "v" + std::to_string(nd.var);
+    }
+    n = positive ? nd.hi : nd.lo;
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Manager: construction and node plumbing
+// ---------------------------------------------------------------------------
+
+Manager::Manager(std::uint32_t num_vars, const ManagerOptions& options)
+    : gc_threshold_(options.gc_threshold),
+      auto_gc_(!options.disable_auto_gc) {
+  nodes_.reserve(1u << 12);
+  // Terminals occupy slots 0 (false) and 1 (true) and are never collected.
+  nodes_.push_back({kTermVar, kFalse, kFalse, kNil, kMaxRefs});
+  nodes_.push_back({kTermVar, kTrue, kTrue, kNil, kMaxRefs});
+  live_nodes_ = 2;
+  stats_.live_nodes = live_nodes_;
+  stats_.peak_nodes = live_nodes_;
+  buckets_.assign(1u << 12, kNil);
+  cache_.assign(std::size_t{1} << options.cache_log2_size, CacheEntry{});
+  for (std::uint32_t i = 0; i < num_vars; ++i) new_var();
+}
+
+Manager::~Manager() = default;
+
+Bdd Manager::one() { return wrap(kTrue); }
+Bdd Manager::zero() { return wrap(kFalse); }
+
+std::uint32_t Manager::new_var() {
+  const auto v = static_cast<std::uint32_t>(num_vars_);
+  ++num_vars_;
+  return v;
+}
+
+Bdd Manager::var(std::uint32_t v) {
+  if (v >= num_vars_) throw std::invalid_argument("Manager::var: unknown var");
+  return wrap(mk(v, kFalse, kTrue));
+}
+
+Bdd Manager::nvar(std::uint32_t v) {
+  if (v >= num_vars_) {
+    throw std::invalid_argument("Manager::nvar: unknown var");
+  }
+  return wrap(mk(v, kTrue, kFalse));
+}
+
+std::size_t Manager::bucket_of(std::uint32_t var, std::uint32_t lo,
+                               std::uint32_t hi) const {
+  return hash3(var, lo, hi) & (buckets_.size() - 1);
+}
+
+std::uint32_t Manager::mk(std::uint32_t var, std::uint32_t lo,
+                          std::uint32_t hi) {
+  if (lo == hi) return lo;  // reduction rule
+  const std::size_t b = bucket_of(var, lo, hi);
+  for (std::uint32_t n = buckets_[b]; n != kNil; n = nodes_[n].next) {
+    const Node& nd = nodes_[n];
+    if (nd.var == var && nd.lo == lo && nd.hi == hi) {
+      ++stats_.unique_hits;
+      return n;
+    }
+  }
+  ++stats_.unique_misses;
+  std::uint32_t idx;
+  if (!free_list_.empty()) {
+    idx = free_list_.back();
+    free_list_.pop_back();
+  } else {
+    idx = static_cast<std::uint32_t>(nodes_.size());
+    nodes_.push_back(Node{});
+  }
+  ref(lo);
+  ref(hi);
+  Node& nd = nodes_[idx];
+  nd.var = var;
+  nd.lo = lo;
+  nd.hi = hi;
+  nd.refs = 0;
+  nd.next = buckets_[b];
+  buckets_[b] = idx;
+  ++live_nodes_;
+  stats_.live_nodes = live_nodes_;
+  stats_.peak_nodes = std::max(stats_.peak_nodes, live_nodes_);
+  if (live_nodes_ > 4 * buckets_.size()) grow_table();
+  return idx;
+}
+
+void Manager::grow_table() {
+  const std::size_t new_size = buckets_.size() * 2;
+  std::vector<std::uint32_t> fresh(new_size, kNil);
+  buckets_.swap(fresh);
+  for (std::uint32_t n = 2; n < nodes_.size(); ++n) {
+    Node& nd = nodes_[n];
+    if (nd.var == kFreeVar || nd.var == kTermVar) continue;
+    const std::size_t b = bucket_of(nd.var, nd.lo, nd.hi);
+    nd.next = buckets_[b];
+    buckets_[b] = n;
+  }
+}
+
+void Manager::ref(std::uint32_t idx) {
+  Node& nd = nodes_[idx];
+  if (nd.refs != kMaxRefs) ++nd.refs;
+}
+
+void Manager::deref(std::uint32_t idx) {
+  Node& nd = nodes_[idx];
+  assert(nd.refs > 0);
+  if (nd.refs != kMaxRefs) --nd.refs;
+}
+
+void Manager::maybe_collect() {
+  if (!auto_gc_ || live_nodes_ < gc_threshold_) return;
+  gc();
+  // If the heap is still mostly live, raise the bar so we do not thrash.
+  if (live_nodes_ > gc_threshold_ / 2) gc_threshold_ *= 2;
+}
+
+void Manager::gc() {
+  // The computed cache may reference dead nodes: drop it wholesale.
+  for (auto& e : cache_) e.valid = false;
+
+  std::vector<std::uint32_t> dead;
+  for (std::uint32_t n = 2; n < nodes_.size(); ++n) {
+    if (nodes_[n].var != kFreeVar && nodes_[n].var != kTermVar &&
+        nodes_[n].refs == 0) {
+      dead.push_back(n);
+    }
+  }
+  std::size_t reclaimed = 0;
+  while (!dead.empty()) {
+    const std::uint32_t n = dead.back();
+    dead.pop_back();
+    Node& nd = nodes_[n];
+    if (nd.var == kFreeVar || nd.refs != 0) continue;  // resurrected / done
+    // Unlink from the unique table.
+    const std::size_t b = bucket_of(nd.var, nd.lo, nd.hi);
+    std::uint32_t* link = &buckets_[b];
+    while (*link != n) link = &nodes_[*link].next;
+    *link = nd.next;
+    // Release the children; newly-dead ones join the worklist.
+    for (const std::uint32_t child : {nd.lo, nd.hi}) {
+      deref(child);
+      if (nodes_[child].refs == 0 && nodes_[child].var != kTermVar &&
+          nodes_[child].var != kFreeVar) {
+        dead.push_back(child);
+      }
+    }
+    nd.var = kFreeVar;
+    nd.next = kNil;
+    free_list_.push_back(n);
+    --live_nodes_;
+    ++reclaimed;
+  }
+  ++stats_.gc_runs;
+  stats_.gc_reclaimed += reclaimed;
+  stats_.live_nodes = live_nodes_;
+}
+
+void Manager::check_mine(const Bdd& b, const char* what) const {
+  if (b.mgr_ != this) {
+    throw std::invalid_argument(std::string("Manager::") + what +
+                                ": operand from a different manager");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Computed cache
+// ---------------------------------------------------------------------------
+
+bool Manager::cache_get(std::uint32_t op, std::uint32_t f, std::uint32_t g,
+                        std::uint32_t h, std::uint32_t& out) {
+  ++stats_.cache_lookups;
+  const std::size_t slot =
+      (hash3(f, g, h) ^ (op * 0x85EBCA6Bu)) & (cache_.size() - 1);
+  const CacheEntry& e = cache_[slot];
+  if (e.valid && e.op == op && e.f == f && e.g == g && e.h == h) {
+    ++stats_.cache_hits;
+    out = e.result;
+    return true;
+  }
+  return false;
+}
+
+void Manager::cache_put(std::uint32_t op, std::uint32_t f, std::uint32_t g,
+                        std::uint32_t h, std::uint32_t result) {
+  const std::size_t slot =
+      (hash3(f, g, h) ^ (op * 0x85EBCA6Bu)) & (cache_.size() - 1);
+  cache_[slot] = CacheEntry{op, f, g, h, result, true};
+}
+
+// ---------------------------------------------------------------------------
+// Recursive kernels
+// ---------------------------------------------------------------------------
+
+std::uint32_t Manager::not_rec(std::uint32_t f) {
+  if (f == kFalse) return kTrue;
+  if (f == kTrue) return kFalse;
+  std::uint32_t cached;
+  if (cache_get(kOpNot, f, 0, 0, cached)) return cached;
+  const Node nd = nodes_[f];
+  const std::uint32_t r = mk(nd.var, not_rec(nd.lo), not_rec(nd.hi));
+  cache_put(kOpNot, f, 0, 0, r);
+  return r;
+}
+
+std::uint32_t Manager::and_rec(std::uint32_t f, std::uint32_t g) {
+  if (f == kFalse || g == kFalse) return kFalse;
+  if (f == kTrue) return g;
+  if (g == kTrue || f == g) return f;
+  if (f > g) std::swap(f, g);  // commutative: normalize for the cache
+  std::uint32_t cached;
+  if (cache_get(kOpAnd, f, g, 0, cached)) return cached;
+  const std::uint32_t top = std::min(level(f), level(g));
+  const Node& nf = nodes_[f];
+  const Node& ng = nodes_[g];
+  const std::uint32_t f0 = nf.var == top ? nf.lo : f;
+  const std::uint32_t f1 = nf.var == top ? nf.hi : f;
+  const std::uint32_t g0 = ng.var == top ? ng.lo : g;
+  const std::uint32_t g1 = ng.var == top ? ng.hi : g;
+  const std::uint32_t r = mk(top, and_rec(f0, g0), and_rec(f1, g1));
+  cache_put(kOpAnd, f, g, 0, r);
+  return r;
+}
+
+std::uint32_t Manager::or_rec(std::uint32_t f, std::uint32_t g) {
+  if (f == kTrue || g == kTrue) return kTrue;
+  if (f == kFalse) return g;
+  if (g == kFalse || f == g) return f;
+  if (f > g) std::swap(f, g);
+  std::uint32_t cached;
+  if (cache_get(kOpOr, f, g, 0, cached)) return cached;
+  const std::uint32_t top = std::min(level(f), level(g));
+  const Node& nf = nodes_[f];
+  const Node& ng = nodes_[g];
+  const std::uint32_t f0 = nf.var == top ? nf.lo : f;
+  const std::uint32_t f1 = nf.var == top ? nf.hi : f;
+  const std::uint32_t g0 = ng.var == top ? ng.lo : g;
+  const std::uint32_t g1 = ng.var == top ? ng.hi : g;
+  const std::uint32_t r = mk(top, or_rec(f0, g0), or_rec(f1, g1));
+  cache_put(kOpOr, f, g, 0, r);
+  return r;
+}
+
+std::uint32_t Manager::xor_rec(std::uint32_t f, std::uint32_t g) {
+  if (f == g) return kFalse;
+  if (f == kFalse) return g;
+  if (g == kFalse) return f;
+  if (f == kTrue) return not_rec(g);
+  if (g == kTrue) return not_rec(f);
+  if (f > g) std::swap(f, g);
+  std::uint32_t cached;
+  if (cache_get(kOpXor, f, g, 0, cached)) return cached;
+  const std::uint32_t top = std::min(level(f), level(g));
+  const Node& nf = nodes_[f];
+  const Node& ng = nodes_[g];
+  const std::uint32_t f0 = nf.var == top ? nf.lo : f;
+  const std::uint32_t f1 = nf.var == top ? nf.hi : f;
+  const std::uint32_t g0 = ng.var == top ? ng.lo : g;
+  const std::uint32_t g1 = ng.var == top ? ng.hi : g;
+  const std::uint32_t r = mk(top, xor_rec(f0, g0), xor_rec(f1, g1));
+  cache_put(kOpXor, f, g, 0, r);
+  return r;
+}
+
+std::uint32_t Manager::ite_rec(std::uint32_t f, std::uint32_t g,
+                               std::uint32_t h) {
+  if (f == kTrue) return g;
+  if (f == kFalse) return h;
+  if (g == h) return g;
+  if (g == kTrue && h == kFalse) return f;
+  if (g == kFalse && h == kTrue) return not_rec(f);
+  std::uint32_t cached;
+  if (cache_get(kOpIte, f, g, h, cached)) return cached;
+  const std::uint32_t top =
+      std::min(level(f), std::min(level(g), level(h)));
+  auto cof = [&](std::uint32_t n, bool hi) {
+    const Node& nd = nodes_[n];
+    if (nd.var != top) return n;
+    return hi ? nd.hi : nd.lo;
+  };
+  const std::uint32_t r1 = ite_rec(cof(f, true), cof(g, true), cof(h, true));
+  const std::uint32_t r0 =
+      ite_rec(cof(f, false), cof(g, false), cof(h, false));
+  const std::uint32_t r = mk(top, r0, r1);
+  cache_put(kOpIte, f, g, h, r);
+  return r;
+}
+
+std::uint32_t Manager::exists_rec(std::uint32_t f, std::uint32_t cube) {
+  if (f == kFalse || f == kTrue) return f;
+  // Skip cube variables above f's top variable: f does not depend on them.
+  while (cube != kTrue && level(cube) < level(f)) cube = nodes_[cube].hi;
+  if (cube == kTrue) return f;
+  std::uint32_t cached;
+  if (cache_get(kOpExists, f, cube, 0, cached)) return cached;
+  const Node& nf = nodes_[f];
+  std::uint32_t r;
+  if (nf.var == level(cube)) {
+    const std::uint32_t rest = nodes_[cube].hi;
+    const std::uint32_t r0 = exists_rec(nf.lo, rest);
+    // Early termination: once one branch is true the disjunction is true.
+    r = (r0 == kTrue) ? kTrue : or_rec(r0, exists_rec(nf.hi, rest));
+  } else {
+    r = mk(nf.var, exists_rec(nf.lo, cube), exists_rec(nf.hi, cube));
+  }
+  cache_put(kOpExists, f, cube, 0, r);
+  return r;
+}
+
+std::uint32_t Manager::and_exists_rec(std::uint32_t f, std::uint32_t g,
+                                      std::uint32_t cube) {
+  if (f == kFalse || g == kFalse) return kFalse;
+  if (cube == kTrue) return and_rec(f, g);
+  if (f == kTrue) return exists_rec(g, cube);
+  if (g == kTrue) return exists_rec(f, cube);
+  if (f == g) return exists_rec(f, cube);
+  if (f > g) std::swap(f, g);
+  const std::uint32_t top = std::min(level(f), level(g));
+  // Quantified variables above both operands vanish.
+  while (cube != kTrue && level(cube) < top) cube = nodes_[cube].hi;
+  if (cube == kTrue) return and_rec(f, g);
+  std::uint32_t cached;
+  if (cache_get(kOpAndExists, f, g, cube, cached)) return cached;
+  const Node& nf = nodes_[f];
+  const Node& ng = nodes_[g];
+  const std::uint32_t f0 = nf.var == top ? nf.lo : f;
+  const std::uint32_t f1 = nf.var == top ? nf.hi : f;
+  const std::uint32_t g0 = ng.var == top ? ng.lo : g;
+  const std::uint32_t g1 = ng.var == top ? ng.hi : g;
+  std::uint32_t r;
+  if (level(cube) == top) {
+    const std::uint32_t rest = nodes_[cube].hi;
+    const std::uint32_t r0 = and_exists_rec(f0, g0, rest);
+    r = (r0 == kTrue) ? kTrue : or_rec(r0, and_exists_rec(f1, g1, rest));
+  } else {
+    r = mk(top, and_exists_rec(f0, g0, cube), and_exists_rec(f1, g1, cube));
+  }
+  cache_put(kOpAndExists, f, g, cube, r);
+  return r;
+}
+
+std::uint32_t Manager::constrain_rec(std::uint32_t f, std::uint32_t c) {
+  if (c == kTrue || f == kFalse || f == kTrue) return f;
+  if (f == c) return kTrue;
+  std::uint32_t cached;
+  if (cache_get(kOpConstrain, f, c, 0, cached)) return cached;
+  const std::uint32_t top = std::min(level(f), level(c));
+  const Node& nf = nodes_[f];
+  const Node& nc = nodes_[c];
+  const std::uint32_t f0 = nf.var == top ? nf.lo : f;
+  const std::uint32_t f1 = nf.var == top ? nf.hi : f;
+  const std::uint32_t c0 = nc.var == top ? nc.lo : c;
+  const std::uint32_t c1 = nc.var == top ? nc.hi : c;
+  std::uint32_t r;
+  if (c0 == kFalse) {
+    r = constrain_rec(f1, c1);
+  } else if (c1 == kFalse) {
+    r = constrain_rec(f0, c0);
+  } else {
+    r = mk(top, constrain_rec(f0, c0), constrain_rec(f1, c1));
+  }
+  cache_put(kOpConstrain, f, c, 0, r);
+  return r;
+}
+
+std::uint32_t Manager::restrict_min_rec(std::uint32_t f, std::uint32_t c) {
+  if (c == kTrue || f == kFalse || f == kTrue) return f;
+  if (f == c) return kTrue;
+  std::uint32_t cached;
+  if (cache_get(kOpRestrictMin, f, c, 0, cached)) return cached;
+  std::uint32_t r;
+  if (level(c) < level(f)) {
+    // The care set branches on a variable f ignores: drop it instead of
+    // splitting f (this keeps the support within f's).
+    r = restrict_min_rec(f, or_rec(nodes_[c].lo, nodes_[c].hi));
+  } else {
+    const std::uint32_t top = level(f);
+    const Node& nf = nodes_[f];
+    const Node& nc = nodes_[c];
+    const std::uint32_t c0 = nc.var == top ? nc.lo : c;
+    const std::uint32_t c1 = nc.var == top ? nc.hi : c;
+    if (c0 == kFalse) {
+      r = restrict_min_rec(nf.hi, c1);
+    } else if (c1 == kFalse) {
+      r = restrict_min_rec(nf.lo, c0);
+    } else {
+      r = mk(top, restrict_min_rec(nf.lo, c0), restrict_min_rec(nf.hi, c1));
+    }
+  }
+  cache_put(kOpRestrictMin, f, c, 0, r);
+  return r;
+}
+
+std::uint32_t Manager::compose_rec(std::uint32_t f, std::uint32_t var,
+                                   std::uint32_t g) {
+  if (level(f) > var) return f;  // also covers terminals (level infinity)
+  std::uint32_t cached;
+  if (cache_get(kOpCompose, f, g, var, cached)) return cached;
+  const Node nf = nodes_[f];
+  std::uint32_t r;
+  if (nf.var == var) {
+    r = ite_rec(g, nf.hi, nf.lo);
+  } else {
+    // Rebuild via ite on the top variable: the composed children may
+    // depend on variables above nf.var, so a plain mk could be unordered.
+    const std::uint32_t v = mk(nf.var, kFalse, kTrue);
+    r = ite_rec(v, compose_rec(nf.hi, var, g), compose_rec(nf.lo, var, g));
+  }
+  cache_put(kOpCompose, f, g, var, r);
+  return r;
+}
+
+std::uint32_t Manager::restrict_rec(std::uint32_t f, std::uint32_t var,
+                                    bool value,
+                                    std::vector<std::uint32_t>& memo) {
+  if (level(f) > var && level(f) != kTermVar) return f;
+  if (level(f) == kTermVar) return f;
+  if (memo.empty()) memo.assign(nodes_.size(), kNil);
+  if (memo[f] != kNil) return memo[f];
+  const Node nd = nodes_[f];
+  std::uint32_t r;
+  if (nd.var == var) {
+    r = value ? nd.hi : nd.lo;
+  } else {
+    r = mk(nd.var, restrict_rec(nd.lo, var, value, memo),
+           restrict_rec(nd.hi, var, value, memo));
+  }
+  memo[f] = r;
+  return r;
+}
+
+// ---------------------------------------------------------------------------
+// Manager: public composite operations
+// ---------------------------------------------------------------------------
+
+Bdd Manager::cube(const std::vector<std::uint32_t>& vars) {
+  maybe_collect();
+  // Build bottom-up (largest variable first) so every mk is ordered.
+  std::vector<std::uint32_t> sorted = vars;
+  std::sort(sorted.begin(), sorted.end());
+  std::uint32_t acc = kTrue;
+  for (auto it = sorted.rbegin(); it != sorted.rend(); ++it) {
+    if (*it >= num_vars_) {
+      throw std::invalid_argument("Manager::cube: unknown var");
+    }
+    acc = mk(*it, kFalse, acc);
+  }
+  return wrap(acc);
+}
+
+Bdd Manager::minterm(const std::vector<std::uint32_t>& vars,
+                     const std::vector<bool>& values) {
+  if (vars.size() != values.size()) {
+    throw std::invalid_argument("Manager::minterm: size mismatch");
+  }
+  maybe_collect();
+  std::vector<std::pair<std::uint32_t, bool>> lits;
+  lits.reserve(vars.size());
+  for (std::size_t i = 0; i < vars.size(); ++i) {
+    if (vars[i] >= num_vars_) {
+      throw std::invalid_argument("Manager::minterm: unknown var");
+    }
+    lits.emplace_back(vars[i], values[i]);
+  }
+  std::sort(lits.begin(), lits.end());
+  std::uint32_t acc = kTrue;
+  for (auto it = lits.rbegin(); it != lits.rend(); ++it) {
+    acc = it->second ? mk(it->first, kFalse, acc) : mk(it->first, acc, kFalse);
+  }
+  return wrap(acc);
+}
+
+Bdd Manager::ite(const Bdd& f, const Bdd& g, const Bdd& h) {
+  check_mine(f, "ite");
+  check_mine(g, "ite");
+  check_mine(h, "ite");
+  maybe_collect();
+  return wrap(ite_rec(f.idx_, g.idx_, h.idx_));
+}
+
+Bdd Manager::and_exists(const Bdd& f, const Bdd& g, const Bdd& cube) {
+  check_mine(f, "and_exists");
+  check_mine(g, "and_exists");
+  check_mine(cube, "and_exists");
+  maybe_collect();
+  return wrap(and_exists_rec(f.idx_, g.idx_, cube.idx_));
+}
+
+Bdd Manager::rename(const Bdd& f, const std::vector<std::uint32_t>& map) {
+  check_mine(f, "rename");
+  maybe_collect();
+  // Verify the map is order-preserving and injective on f's support; a
+  // violation would silently produce a mis-ordered (non-canonical) DAG.
+  const std::vector<std::uint32_t> sup = f.support();
+  for (std::size_t i = 0; i < sup.size(); ++i) {
+    if (sup[i] >= map.size()) {
+      throw std::invalid_argument("Manager::rename: map too short");
+    }
+    if (map[sup[i]] >= num_vars_) {
+      throw std::invalid_argument("Manager::rename: target var unknown");
+    }
+    if (i > 0 && map[sup[i - 1]] >= map[sup[i]]) {
+      throw std::invalid_argument(
+          "Manager::rename: map does not preserve variable order");
+    }
+  }
+  std::unordered_map<std::uint32_t, std::uint32_t> memo;
+  auto rec = [&](auto&& self, std::uint32_t n) -> std::uint32_t {
+    if (level(n) == kTermVar) return n;
+    if (const auto it = memo.find(n); it != memo.end()) return it->second;
+    const Node nd = nodes_[n];
+    const std::uint32_t r =
+        mk(map[nd.var], self(self, nd.lo), self(self, nd.hi));
+    memo.emplace(n, r);
+    return r;
+  };
+  return wrap(rec(rec, f.idx_));
+}
+
+Bdd Manager::pick_one_minterm(const Bdd& f,
+                              const std::vector<std::uint32_t>& vars) {
+  check_mine(f, "pick_one_minterm");
+  const std::vector<bool> values = pick_one_assignment(f, vars);
+  return minterm(vars, values);
+}
+
+std::vector<bool> Manager::pick_one_assignment(
+    const Bdd& f, const std::vector<std::uint32_t>& vars) {
+  check_mine(f, "pick_one_assignment");
+  if (f.is_false() || f.is_null()) {
+    throw std::invalid_argument("pick_one_assignment: unsatisfiable function");
+  }
+  for (std::size_t i = 1; i < vars.size(); ++i) {
+    if (vars[i - 1] >= vars[i]) {
+      throw std::invalid_argument("pick_one_assignment: vars not ascending");
+    }
+  }
+  std::vector<bool> values(vars.size(), false);
+  std::uint32_t n = f.idx_;
+  for (std::size_t i = 0; i < vars.size(); ++i) {
+    if (level(n) == kTermVar || nodes_[n].var != vars[i]) {
+      // f does not branch on vars[i] here: any value works; pick false.
+      if (level(n) != kTermVar && nodes_[n].var < vars[i]) {
+        throw std::invalid_argument(
+            "pick_one_assignment: vars does not cover the support");
+      }
+      continue;
+    }
+    const Node& nd = nodes_[n];
+    // Prefer the low branch (a deterministic choice keeps traces stable).
+    if (nd.lo != kFalse) {
+      values[i] = false;
+      n = nd.lo;
+    } else {
+      values[i] = true;
+      n = nd.hi;
+    }
+  }
+  if (n != kTrue) {
+    throw std::invalid_argument(
+        "pick_one_assignment: vars does not cover the support");
+  }
+  return values;
+}
+
+void Manager::for_each_assignment(
+    const Bdd& f, const std::vector<std::uint32_t>& vars,
+    const std::function<void(const std::vector<bool>&)>& visit) {
+  check_mine(f, "for_each_assignment");
+  for (std::size_t i = 1; i < vars.size(); ++i) {
+    if (vars[i - 1] >= vars[i]) {
+      throw std::invalid_argument("for_each_assignment: vars not ascending");
+    }
+  }
+  if (f.is_false()) return;
+  std::vector<bool> values(vars.size(), false);
+  // Depth = position in `vars`; branch on the BDD only when its top
+  // variable matches, otherwise both values lead to the same subfunction.
+  auto rec = [&](auto&& self, std::size_t depth, std::uint32_t n) -> void {
+    if (depth == vars.size()) {
+      if (n != kTrue) {
+        throw std::invalid_argument(
+            "for_each_assignment: vars does not cover the support");
+      }
+      visit(values);
+      return;
+    }
+    const std::uint32_t lvl = level(n);
+    if (lvl != kTermVar && lvl < vars[depth]) {
+      throw std::invalid_argument(
+          "for_each_assignment: vars does not cover the support");
+    }
+    if (lvl == kTermVar || lvl != vars[depth]) {
+      for (const bool b : {false, true}) {
+        values[depth] = b;
+        self(self, depth + 1, n);
+      }
+      return;
+    }
+    const Node& nd = nodes_[n];
+    if (nd.lo != kFalse) {
+      values[depth] = false;
+      self(self, depth + 1, nd.lo);
+    }
+    if (nd.hi != kFalse) {
+      values[depth] = true;
+      self(self, depth + 1, nd.hi);
+    }
+  };
+  rec(rec, 0, f.raw_index());
+  (void)f;
+}
+
+void Manager::dump_dot(std::ostream& os, const std::vector<Bdd>& roots,
+                       const std::vector<std::string>& names) const {
+  os << "digraph bdd {\n"
+     << "  rankdir=TB;\n"
+     << "  node [shape=circle];\n"
+     << "  n0 [shape=box,label=\"0\"];\n"
+     << "  n1 [shape=box,label=\"1\"];\n";
+  std::unordered_set<std::uint32_t> seen{kFalse, kTrue};
+  std::vector<std::uint32_t> stack;
+  for (std::size_t i = 0; i < roots.size(); ++i) {
+    os << "  r" << i << " [shape=plaintext,label=\"f" << i << "\"];\n"
+       << "  r" << i << " -> n" << roots[i].idx_ << ";\n";
+    stack.push_back(roots[i].idx_);
+  }
+  while (!stack.empty()) {
+    const std::uint32_t n = stack.back();
+    stack.pop_back();
+    if (!seen.insert(n).second) continue;
+    const Node& nd = nodes_[n];
+    std::string label = nd.var < names.size() && !names[nd.var].empty()
+                            ? names[nd.var]
+                            : "v" + std::to_string(nd.var);
+    os << "  n" << n << " [label=\"" << label << "\"];\n"
+       << "  n" << n << " -> n" << nd.lo << " [style=dashed];\n"
+       << "  n" << n << " -> n" << nd.hi << ";\n";
+    stack.push_back(nd.lo);
+    stack.push_back(nd.hi);
+  }
+  os << "}\n";
+}
+
+}  // namespace symcex::bdd

@@ -1,0 +1,328 @@
+// SymCeX -- BDD package.
+//
+// A from-scratch reduced ordered binary decision diagram (ROBDD) manager in
+// the style of [Bryant 86], providing the representation layer the paper's
+// symbolic model checking algorithms are built on (Section 2 of the paper):
+//
+//   * canonical ROBDD nodes kept in a unique table (hash-consing), so
+//     equivalence of two functions is a pointer comparison;
+//   * an ITE-based apply with a computed cache, giving all 16 binary
+//     connectives in time linear in the argument sizes;
+//   * existential/universal quantification and the fused relational product
+//     (AndExists) used for image/preimage computation;
+//   * variable renaming between the "current state" and "next state" rails;
+//   * minterm extraction (PickOneMinterm), the primitive that witness
+//     generation uses to pull one concrete state out of a symbolic set;
+//   * reference-counted garbage collection driven by RAII handles.
+//
+// The variable order is the creation order (variable index == level).  The
+// transition-system layer interleaves current/next variables, which keeps
+// the pairwise current<->next renaming order-preserving.
+//
+// Thread safety: a Manager and all Bdd handles attached to it are confined
+// to one thread.  Distinct managers are independent.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace symcex::bdd {
+
+class Manager;
+
+/// RAII handle to a BDD node.  Copying a handle bumps the node's external
+/// reference count; destruction releases it.  A default-constructed handle
+/// is "null" (attached to no manager) and may only be assigned to or
+/// compared.  Handles compare by node identity, which -- because ROBDDs are
+/// canonical -- is function equality.
+class Bdd {
+ public:
+  Bdd() = default;
+  Bdd(const Bdd& other);
+  Bdd(Bdd&& other) noexcept;
+  Bdd& operator=(const Bdd& other);
+  Bdd& operator=(Bdd&& other) noexcept;
+  ~Bdd();
+
+  [[nodiscard]] bool is_null() const { return mgr_ == nullptr; }
+  [[nodiscard]] bool is_true() const;
+  [[nodiscard]] bool is_false() const;
+  [[nodiscard]] bool is_constant() const { return is_true() || is_false(); }
+
+  /// The manager this handle is attached to (nullptr for a null handle).
+  [[nodiscard]] Manager* manager() const { return mgr_; }
+
+  /// Identity comparison == function equality (canonicity).
+  friend bool operator==(const Bdd& a, const Bdd& b) {
+    return a.mgr_ == b.mgr_ && a.idx_ == b.idx_;
+  }
+  friend bool operator!=(const Bdd& a, const Bdd& b) { return !(a == b); }
+  /// Arbitrary strict order for use in ordered containers.
+  friend bool operator<(const Bdd& a, const Bdd& b) {
+    return a.mgr_ != b.mgr_ ? a.mgr_ < b.mgr_ : a.idx_ < b.idx_;
+  }
+
+  // Boolean connectives.  All operands must share a manager.
+  [[nodiscard]] Bdd operator!() const;
+  [[nodiscard]] Bdd operator&(const Bdd& g) const;
+  [[nodiscard]] Bdd operator|(const Bdd& g) const;
+  [[nodiscard]] Bdd operator^(const Bdd& g) const;
+  Bdd& operator&=(const Bdd& g) { return *this = *this & g; }
+  Bdd& operator|=(const Bdd& g) { return *this = *this | g; }
+  Bdd& operator^=(const Bdd& g) { return *this = *this ^ g; }
+
+  /// f - g, i.e. f AND NOT g (set difference).
+  [[nodiscard]] Bdd operator-(const Bdd& g) const { return *this & !g; }
+  Bdd& operator-=(const Bdd& g) { return *this = *this - g; }
+
+  /// Logical implication test: does this function imply g everywhere?
+  [[nodiscard]] bool implies(const Bdd& g) const {
+    return (*this - g).is_false();
+  }
+  /// Set view: is this set (of satisfying assignments) a subset of g's?
+  [[nodiscard]] bool is_subset_of(const Bdd& g) const { return implies(g); }
+  /// Do this function and g share a satisfying assignment?
+  [[nodiscard]] bool intersects(const Bdd& g) const {
+    return !(*this & g).is_false();
+  }
+
+  /// Existentially quantify all variables of `cube` (a positive-literal
+  /// conjunction) out of this function.
+  [[nodiscard]] Bdd exists(const Bdd& cube) const;
+  /// Universally quantify all variables of `cube` out of this function.
+  [[nodiscard]] Bdd forall(const Bdd& cube) const;
+  /// Cofactor: this function with variable `var` fixed to `value`.
+  [[nodiscard]] Bdd restrict_var(std::uint32_t var, bool value) const;
+
+  /// Coudert-Madre generalized cofactor ("constrain"): a function agreeing
+  /// with this one on every assignment satisfying `care` (which must be
+  /// satisfiable); off the care set the value is chosen to shrink the DAG.
+  /// Satisfies  f.constrain(c) & c == f & c.
+  [[nodiscard]] Bdd constrain(const Bdd& care) const;
+  /// Coudert-Madre "restrict": like constrain but never enlarges the
+  /// support; the standard don't-care minimizer for state sets
+  /// (e.g. reduce a set modulo the reachable states).
+  [[nodiscard]] Bdd minimize(const Bdd& care) const;
+
+  /// Functional composition: substitute `g` for variable `var`.
+  [[nodiscard]] Bdd compose(std::uint32_t var, const Bdd& g) const;
+
+  /// Number of DAG nodes reachable from this root (including terminals).
+  [[nodiscard]] std::size_t dag_size() const;
+  /// The set of variables this function depends on, ascending.
+  [[nodiscard]] std::vector<std::uint32_t> support() const;
+  /// Number of satisfying assignments over `num_vars` variables.
+  [[nodiscard]] double sat_count(std::uint32_t num_vars) const;
+  /// Evaluate under a total assignment (indexed by variable).
+  [[nodiscard]] bool eval(const std::vector<bool>& assignment) const;
+
+  /// Render a single cube (conjunction of literals) as e.g. "x0 & !x2".
+  /// Requires this BDD to be a cube; names may be empty (then "v<i>").
+  [[nodiscard]] std::string cube_string(
+      const std::vector<std::string>& names = {}) const;
+
+  /// Internal node index (stable until the node is garbage collected, which
+  /// cannot happen while this handle lives).  Exposed for diagnostics.
+  [[nodiscard]] std::uint32_t raw_index() const { return idx_; }
+
+ private:
+  friend class Manager;
+  Bdd(Manager* mgr, std::uint32_t idx);
+
+  Manager* mgr_ = nullptr;
+  std::uint32_t idx_ = 0;
+};
+
+/// Aggregate statistics a Manager keeps about itself.
+struct ManagerStats {
+  std::size_t live_nodes = 0;      ///< allocated and not freed
+  std::size_t peak_nodes = 0;      ///< high-water mark of live_nodes
+  std::size_t gc_runs = 0;         ///< completed garbage collections
+  std::size_t gc_reclaimed = 0;    ///< total nodes reclaimed by GC
+  std::size_t unique_hits = 0;     ///< mk() found an existing node
+  std::size_t unique_misses = 0;   ///< mk() created a node
+  std::size_t cache_hits = 0;      ///< computed-cache hits
+  std::size_t cache_lookups = 0;   ///< computed-cache probes
+};
+
+/// Tuning knobs for a Manager.
+struct ManagerOptions {
+  /// log2 of the computed-cache slot count.
+  std::uint32_t cache_log2_size = 18;
+  /// Run GC when this many nodes are live; doubles when GC is ineffective.
+  std::size_t gc_threshold = 1u << 18;
+  /// Disable automatic garbage collection (explicit gc() still works).
+  bool disable_auto_gc = false;
+};
+
+/// The BDD manager: owns all nodes, the unique table and the computed cache.
+/// Create variables with new_var()/var(), combine with the Bdd operators.
+class Manager {
+ public:
+  explicit Manager(std::uint32_t num_vars = 0,
+                   const ManagerOptions& options = {});
+  ~Manager();
+
+  Manager(const Manager&) = delete;
+  Manager& operator=(const Manager&) = delete;
+
+  /// The constant true / false functions.
+  [[nodiscard]] Bdd one();
+  [[nodiscard]] Bdd zero();
+
+  /// Allocate a fresh variable at the bottom of the order; returns its index.
+  std::uint32_t new_var();
+  /// Current number of variables.
+  [[nodiscard]] std::uint32_t num_vars() const {
+    return static_cast<std::uint32_t>(num_vars_);
+  }
+
+  /// The projection function of variable v (must be < num_vars()).
+  [[nodiscard]] Bdd var(std::uint32_t v);
+  /// The negated projection function of variable v.
+  [[nodiscard]] Bdd nvar(std::uint32_t v);
+  /// Variable v if `positive`, else its negation.
+  [[nodiscard]] Bdd literal(std::uint32_t v, bool positive) {
+    return positive ? var(v) : nvar(v);
+  }
+
+  /// Conjunction of the positive literals of `vars` (a quantification cube).
+  [[nodiscard]] Bdd cube(const std::vector<std::uint32_t>& vars);
+  /// The minterm selecting exactly the given values of `vars`.
+  [[nodiscard]] Bdd minterm(const std::vector<std::uint32_t>& vars,
+                            const std::vector<bool>& values);
+
+  /// If-then-else: (f AND g) OR (NOT f AND h).
+  [[nodiscard]] Bdd ite(const Bdd& f, const Bdd& g, const Bdd& h);
+
+  /// Fused relational product: Exists cube . (f AND g).  The workhorse of
+  /// image/preimage computation; never builds the full conjunction.
+  [[nodiscard]] Bdd and_exists(const Bdd& f, const Bdd& g, const Bdd& cube);
+
+  /// Rename variables: result has variable map[v] wherever f has v.  The map
+  /// must be injective on f's support and preserve relative variable order
+  /// (checked); identity entries map[v] == v are allowed and typical.
+  [[nodiscard]] Bdd rename(const Bdd& f, const std::vector<std::uint32_t>& map);
+
+  /// Pick one satisfying assignment of f, as a full cube over `vars`
+  /// (every variable in `vars` appears as a positive or negative literal).
+  /// `vars` must be ascending and cover f's support.  f must be satisfiable.
+  [[nodiscard]] Bdd pick_one_minterm(const Bdd& f,
+                                     const std::vector<std::uint32_t>& vars);
+  /// As above but returns the assignment as value bits parallel to `vars`.
+  [[nodiscard]] std::vector<bool> pick_one_assignment(
+      const Bdd& f, const std::vector<std::uint32_t>& vars);
+
+  /// Enumerate all satisfying assignments of f over `vars` (ascending and
+  /// covering f's support), invoking `visit` with the value bits for each.
+  /// The number of assignments is 2^k in the worst case; intended for
+  /// small sets (trace decoding, explicit enumeration).
+  void for_each_assignment(
+      const Bdd& f, const std::vector<std::uint32_t>& vars,
+      const std::function<void(const std::vector<bool>&)>& visit);
+
+  /// Force a garbage collection now.  All nodes unreachable from live Bdd
+  /// handles are reclaimed; the computed cache is cleared.
+  void gc();
+
+  /// Write the DAG rooted at the given functions in Graphviz DOT syntax.
+  /// `names[v]` labels variable v (empty / short vector -> "v<i>").
+  void dump_dot(std::ostream& os, const std::vector<Bdd>& roots,
+                const std::vector<std::string>& names = {}) const;
+
+  [[nodiscard]] const ManagerStats& stats() const { return stats_; }
+
+ private:
+  friend class Bdd;
+
+  static constexpr std::uint32_t kFalse = 0;
+  static constexpr std::uint32_t kTrue = 1;
+  static constexpr std::uint32_t kTermVar = 0xFFFFFFFFu;  // terminal "level"
+  static constexpr std::uint32_t kFreeVar = 0xFFFFFFFEu;  // freed slot marker
+  static constexpr std::uint32_t kNil = 0xFFFFFFFFu;      // chain terminator
+
+  struct Node {
+    std::uint32_t var;   // level; kTermVar for terminals, kFreeVar when freed
+    std::uint32_t lo;    // else-child
+    std::uint32_t hi;    // then-child
+    std::uint32_t next;  // unique-table chain
+    std::uint32_t refs;  // parents + external handles (saturating)
+  };
+
+  struct CacheEntry {
+    std::uint32_t op = 0;
+    std::uint32_t f = 0, g = 0, h = 0;
+    std::uint32_t result = 0;
+    bool valid = false;
+  };
+
+  enum Op : std::uint32_t {
+    kOpNot = 1,
+    kOpAnd,
+    kOpOr,
+    kOpXor,
+    kOpIte,
+    kOpExists,
+    kOpAndExists,
+    kOpConstrain,
+    kOpRestrictMin,
+    kOpCompose,
+  };
+
+  // -- node plumbing -------------------------------------------------------
+  std::uint32_t mk(std::uint32_t var, std::uint32_t lo, std::uint32_t hi);
+  void ref(std::uint32_t idx);
+  void deref(std::uint32_t idx);
+  [[nodiscard]] std::uint32_t level(std::uint32_t idx) const {
+    return nodes_[idx].var;
+  }
+  void grow_table();
+  [[nodiscard]] std::size_t bucket_of(std::uint32_t var, std::uint32_t lo,
+                                      std::uint32_t hi) const;
+  void maybe_collect();
+
+  // -- computed cache ------------------------------------------------------
+  [[nodiscard]] bool cache_get(std::uint32_t op, std::uint32_t f,
+                               std::uint32_t g, std::uint32_t h,
+                               std::uint32_t& out);
+  void cache_put(std::uint32_t op, std::uint32_t f, std::uint32_t g,
+                 std::uint32_t h, std::uint32_t result);
+
+  // -- recursive kernels (raw indices; GC never runs inside them) ----------
+  std::uint32_t not_rec(std::uint32_t f);
+  std::uint32_t and_rec(std::uint32_t f, std::uint32_t g);
+  std::uint32_t or_rec(std::uint32_t f, std::uint32_t g);
+  std::uint32_t xor_rec(std::uint32_t f, std::uint32_t g);
+  std::uint32_t ite_rec(std::uint32_t f, std::uint32_t g, std::uint32_t h);
+  std::uint32_t exists_rec(std::uint32_t f, std::uint32_t cube);
+  std::uint32_t and_exists_rec(std::uint32_t f, std::uint32_t g,
+                               std::uint32_t cube);
+  std::uint32_t constrain_rec(std::uint32_t f, std::uint32_t c);
+  std::uint32_t restrict_min_rec(std::uint32_t f, std::uint32_t c);
+  std::uint32_t compose_rec(std::uint32_t f, std::uint32_t var,
+                            std::uint32_t g);
+
+  [[nodiscard]] Bdd wrap(std::uint32_t idx) { return Bdd(this, idx); }
+  void check_mine(const Bdd& b, const char* what) const;
+
+  // Helpers used by Bdd methods.
+  std::uint32_t restrict_rec(std::uint32_t f, std::uint32_t var, bool value,
+                             std::vector<std::uint32_t>& memo);
+
+  std::vector<Node> nodes_;
+  std::vector<std::uint32_t> buckets_;   // unique table, power-of-two size
+  std::vector<std::uint32_t> free_list_;
+  std::vector<CacheEntry> cache_;
+  std::size_t num_vars_ = 0;
+  std::size_t live_nodes_ = 0;
+  std::size_t gc_threshold_ = 0;
+  bool auto_gc_ = true;
+  ManagerStats stats_;
+};
+
+}  // namespace symcex::bdd

@@ -1,0 +1,209 @@
+#include "core/checker.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace symcex::core {
+
+Checker::Checker(ts::TransitionSystem& ts, const CheckOptions& options)
+    : ts_(ts), options_(options) {
+  if (!ts.finalized()) {
+    throw std::invalid_argument("Checker: transition system not finalized");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Formula level
+// ---------------------------------------------------------------------------
+
+bdd::Bdd Checker::resolve_atom(const std::string& name) const {
+  if (const auto label = ts_.label(name)) return *label;
+  if (const auto v = ts_.find_var(name)) return ts_.cur(*v);
+  throw std::invalid_argument("Checker: unknown atomic proposition '" + name +
+                              "'");
+}
+
+bdd::Bdd Checker::states(const ctl::Formula::Ptr& f) {
+  if (!ctl::is_ctl(f)) {
+    throw std::invalid_argument(
+        "Checker::states: not a CTL formula (use ctlstar::Checker for the "
+        "restricted CTL* fragment): " +
+        ctl::to_string(f));
+  }
+  return states_enf(ctl::to_existential_normal_form(f));
+}
+
+bdd::Bdd Checker::states_enf(const ctl::Formula::Ptr& f) {
+  using ctl::Kind;
+  if (options_.memoize) {
+    if (const auto it = memo_.find(f); it != memo_.end()) {
+      return it->second;
+    }
+  }
+  bdd::Bdd result;
+  switch (f->kind()) {
+    case Kind::kTrue:
+      result = ts_.manager().one();
+      break;
+    case Kind::kFalse:
+      result = ts_.manager().zero();
+      break;
+    case Kind::kAtom:
+      result = resolve_atom(f->name());
+      break;
+    case Kind::kNot:
+      result = !states_enf(f->lhs());
+      break;
+    case Kind::kAnd:
+      result = states_enf(f->lhs()) & states_enf(f->rhs());
+      break;
+    case Kind::kOr:
+      result = states_enf(f->lhs()) | states_enf(f->rhs());
+      break;
+    case Kind::kXor:
+      result = states_enf(f->lhs()) ^ states_enf(f->rhs());
+      break;
+    case Kind::kEX:
+      result = ex(states_enf(f->lhs()));
+      break;
+    case Kind::kEU:
+      result = eu(states_enf(f->lhs()), states_enf(f->rhs()));
+      break;
+    case Kind::kEG:
+      result = eg(states_enf(f->lhs()));
+      break;
+    default:
+      // to_existential_normal_form eliminates every other kind.
+      throw std::logic_error("Checker::states_enf: unexpected node kind");
+  }
+  if (options_.memoize) memo_.emplace(f, result);
+  return result;
+}
+
+bool Checker::holds(const ctl::Formula::Ptr& f) {
+  return ts_.init().implies(states(f));
+}
+
+bool Checker::holds(const std::string& formula_text) {
+  return holds(ctl::parse(formula_text));
+}
+
+// ---------------------------------------------------------------------------
+// Plain CTL primitives
+// ---------------------------------------------------------------------------
+
+bdd::Bdd Checker::ex_raw(const bdd::Bdd& f) {
+  ++stats_.preimage_calls;
+  return ts_.preimage(f, options_.image_method);
+}
+
+bdd::Bdd Checker::eu_raw(const bdd::Bdd& f, const bdd::Bdd& g) {
+  bdd::Bdd z = g;
+  for (;;) {
+    ++stats_.eu_iterations;
+    const bdd::Bdd znew = g | (f & ex_raw(z));
+    if (znew == z) return z;
+    z = znew;
+  }
+}
+
+std::vector<bdd::Bdd> Checker::eu_rings(const bdd::Bdd& f, const bdd::Bdd& g) {
+  std::vector<bdd::Bdd> rings{g};
+  for (;;) {
+    ++stats_.eu_iterations;
+    const bdd::Bdd znew = g | (f & ex_raw(rings.back()));
+    if (znew == rings.back()) return rings;
+    rings.push_back(znew);
+  }
+}
+
+bdd::Bdd Checker::eg_raw(const bdd::Bdd& f) {
+  bdd::Bdd z = f;
+  for (;;) {
+    ++stats_.eg_iterations;
+    const bdd::Bdd znew = f & ex_raw(z);
+    if (znew == z) return z;
+    z = znew;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Fairness-aware primitives
+// ---------------------------------------------------------------------------
+
+const bdd::Bdd& Checker::fair_states() {
+  if (fair_.is_null()) {
+    if (ts_.fairness().empty()) {
+      fair_ = eg_raw(ts_.manager().one());
+    } else {
+      fair_ = eg(ts_.manager().one());
+    }
+  }
+  return fair_;
+}
+
+bdd::Bdd Checker::ex(const bdd::Bdd& f) {
+  // Intersecting with fair even when no constraints are declared keeps the
+  // "paths are infinite" CTL semantics on systems with deadlocked states
+  // (fair is then simply EG true) and keeps verdicts aligned with the
+  // witness generator.
+  return ex_raw(f & fair_states());
+}
+
+bdd::Bdd Checker::eu(const bdd::Bdd& f, const bdd::Bdd& g) {
+  return eu_raw(f, g & fair_states());
+}
+
+bdd::Bdd Checker::eg(const bdd::Bdd& f) {
+  if (ts_.fairness().empty()) return eg_raw(f);
+  // Plain fair-EG evaluation; the rings are recomputed on demand by
+  // eg_with_rings when a witness is requested.
+  bdd::Bdd z = f;
+  for (;;) {
+    ++stats_.eg_iterations;
+    bdd::Bdd znew = f;
+    for (const auto& h : ts_.fairness()) {
+      znew &= ex_raw(eu_raw(f, z & h));
+      if (znew.is_false()) break;
+    }
+    if (znew == z) return z;
+    z = znew;
+  }
+}
+
+FairEG Checker::eg_with_rings(const bdd::Bdd& f) {
+  std::vector<bdd::Bdd> constraints = ts_.fairness();
+  return eg_with_rings(f, std::move(constraints));
+}
+
+FairEG Checker::eg_with_rings(const bdd::Bdd& f,
+                              std::vector<bdd::Bdd> constraints) {
+  if (constraints.empty()) {
+    // Section 6's construction needs at least one ring family; with no
+    // fairness the single constraint "true" makes EG f the special case.
+    constraints.push_back(ts_.manager().one());
+  }
+  // Outer greatest fixpoint.
+  bdd::Bdd z = f;
+  for (;;) {
+    ++stats_.eg_iterations;
+    bdd::Bdd znew = f;
+    for (const auto& h : constraints) {
+      znew &= ex_raw(eu_raw(f, z & h));
+      if (znew.is_false()) break;
+    }
+    if (znew == z) break;
+    z = znew;
+  }
+  // Final pass with Z fixed: save the approximation sequences Q_i^h.
+  FairEG out;
+  out.states = z;
+  out.constraints = std::move(constraints);
+  out.rings.reserve(out.constraints.size());
+  for (const auto& h : out.constraints) {
+    out.rings.push_back(eu_rings(f, z & h));
+  }
+  return out;
+}
+
+}  // namespace symcex::core

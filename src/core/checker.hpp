@@ -1,0 +1,137 @@
+// SymCeX -- the symbolic CTL model checker (Sections 4 and 5 of the paper).
+//
+// Check / CheckEX / CheckEU / CheckEG over BDDs, based on the fixpoint
+// characterisations
+//
+//   E[f U g] = lfp Z. [ g | (f & EX Z) ]
+//   EG f     = gfp Z. [ f & EX Z ]
+//
+// plus the fairness-constrained variants of Section 5:
+//
+//   CheckFairEG(f) = gfp Z. [ f & AND_k EX( E[f U (Z & h_k)] ) ]
+//   CheckFairEX(f) = CheckEX(f & fair)
+//   CheckFairEU(f,g) = CheckEU(f, g & fair)       with fair = CheckFairEG(true)
+//
+// The checker also exposes the bookkeeping Section 6 needs for witness
+// generation: the increasing approximation sequences ("onion rings")
+// Q_0^h <= Q_1^h <= ... of each inner E[f U (Z & h_k)] computation, saved
+// during the final iteration of the outer fixpoint.
+
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "bdd/bdd.hpp"
+#include "ctl/formula.hpp"
+#include "ts/transition_system.hpp"
+
+namespace symcex::core {
+
+/// Knobs for the checker.
+struct CheckOptions {
+  /// How preimages are computed (ablation: monolithic vs partitioned).
+  ts::ImageMethod image_method = ts::ImageMethod::kMonolithic;
+  /// Memoise states() results per formula node (identity-based).
+  bool memoize = true;
+};
+
+/// Counters the checker accumulates (reset with reset_stats()).
+struct CheckStats {
+  std::size_t preimage_calls = 0;   ///< EX evaluations
+  std::size_t eu_iterations = 0;    ///< least-fixpoint steps
+  std::size_t eg_iterations = 0;    ///< greatest-fixpoint steps (outer, for fair EG)
+};
+
+/// Result of CheckFairEG with the approximation sequences saved
+/// (Section 6: "in the last iteration of the outer fixpoint when
+/// Z = EG f, we save the sequence of approximations Q_i^h for each h").
+struct FairEG {
+  bdd::Bdd states;                          ///< the fair EG f set
+  std::vector<bdd::Bdd> constraints;        ///< effective constraint sets H
+  /// rings[k][i] = Q_i^{h_k}: states with an f-path of length <= i to
+  /// (EG f) & h_k.  rings[k][0] = (EG f) & h_k.
+  std::vector<std::vector<bdd::Bdd>> rings;
+};
+
+/// The symbolic model checker.  Binds to one finalized TransitionSystem;
+/// fairness constraints registered on the system are honoured by the
+/// formula-level API and by ex()/eu()/eg().
+class Checker {
+ public:
+  explicit Checker(ts::TransitionSystem& ts, const CheckOptions& options = {});
+
+  [[nodiscard]] ts::TransitionSystem& system() { return ts_; }
+  [[nodiscard]] const CheckOptions& options() const { return options_; }
+
+  // -- formula level ---------------------------------------------------------
+
+  /// The set of states satisfying the CTL formula f (under the system's
+  /// fairness constraints).  Atoms resolve to labels first, then to state
+  /// variable names.  Throws on non-CTL formulas and unknown atoms.
+  [[nodiscard]] bdd::Bdd states(const ctl::Formula::Ptr& f);
+  /// Does every initial state satisfy f?
+  [[nodiscard]] bool holds(const ctl::Formula::Ptr& f);
+  /// Parse + holds.
+  [[nodiscard]] bool holds(const std::string& formula_text);
+
+  /// Resolve an atomic proposition to a state set (label or variable).
+  [[nodiscard]] bdd::Bdd resolve_atom(const std::string& name) const;
+
+  /// As states(), but the formula must already be in existential normal
+  /// form (only !, &, |, xor, EX, EU, EG over atoms); skips the rewrite.
+  /// Used by the explainers, which work on ENF subformulas directly.
+  [[nodiscard]] bdd::Bdd states_enf(const ctl::Formula::Ptr& f);
+
+  // -- set level: plain CTL (no fairness) -------------------------------------
+
+  /// EX f: predecessors of f.
+  [[nodiscard]] bdd::Bdd ex_raw(const bdd::Bdd& f);
+  /// E[f U g] by the least-fixpoint iteration.
+  [[nodiscard]] bdd::Bdd eu_raw(const bdd::Bdd& f, const bdd::Bdd& g);
+  /// EG f by the greatest-fixpoint iteration.
+  [[nodiscard]] bdd::Bdd eg_raw(const bdd::Bdd& f);
+  /// The approximation sequence of E[f U g]: result[i] = states with an
+  /// f-path of length <= i to g; result.back() is the fixpoint.
+  [[nodiscard]] std::vector<bdd::Bdd> eu_rings(const bdd::Bdd& f,
+                                               const bdd::Bdd& g);
+
+  // -- set level: fairness-aware ----------------------------------------------
+
+  /// EX f under fairness: EX(f & fair).
+  [[nodiscard]] bdd::Bdd ex(const bdd::Bdd& f);
+  /// E[f U g] under fairness: E[f U (g & fair)].
+  [[nodiscard]] bdd::Bdd eu(const bdd::Bdd& f, const bdd::Bdd& g);
+  /// EG f under fairness (CheckFairEG).
+  [[nodiscard]] bdd::Bdd eg(const bdd::Bdd& f);
+  /// EG f under fairness with the onion rings saved for witness generation.
+  /// If the system has no fairness constraints, the single constraint
+  /// "true" is used so that the lasso construction of Section 6 still
+  /// applies verbatim.
+  [[nodiscard]] FairEG eg_with_rings(const bdd::Bdd& f);
+  /// EG f under an explicit constraint set (used by the CTL* engine, which
+  /// synthesises constraints from GF subformulas).
+  [[nodiscard]] FairEG eg_with_rings(const bdd::Bdd& f,
+                                     std::vector<bdd::Bdd> constraints);
+
+  /// fair = CheckFairEG(true): states at the start of some fair path.
+  /// With no fairness constraints this is EG true (states with some
+  /// infinite path).  Cached.
+  [[nodiscard]] const bdd::Bdd& fair_states();
+
+  [[nodiscard]] const CheckStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = CheckStats{}; }
+
+ private:
+  ts::TransitionSystem& ts_;
+  CheckOptions options_;
+  CheckStats stats_;
+  bdd::Bdd fair_;  // cache of fair_states()
+  // Keyed on shared_ptr (not raw pointer): holding the node alive keeps
+  // its address from being recycled by a later formula's allocation.
+  std::unordered_map<ctl::Formula::Ptr, bdd::Bdd> memo_;
+};
+
+}  // namespace symcex::core

@@ -1,0 +1,184 @@
+#include "core/explain.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace symcex::core {
+
+using ctl::Formula;
+using ctl::Kind;
+
+Explainer::Explainer(Checker& checker, const WitnessOptions& options)
+    : checker_(checker), generator_(checker, options) {}
+
+bdd::Bdd Explainer::last_state(const Trace& trace) const {
+  if (trace.is_lasso() || trace.prefix.empty()) {
+    throw std::logic_error("Explainer: trace has no extendable end state");
+  }
+  return trace.prefix.back();
+}
+
+Explanation Explainer::explain(const std::string& spec_text) {
+  return explain(ctl::parse(spec_text));
+}
+
+Explanation Explainer::explain(const Formula::Ptr& spec) {
+  auto& ts = checker_.system();
+  const Formula::Ptr enf = ctl::to_existential_normal_form(spec);
+  const bdd::Bdd sat = checker_.states_enf(enf);
+  Explanation out;
+  out.holds = ts.init().implies(sat);
+  walked_temporal_ = false;
+  obligations_.clear();
+
+  Trace trace;
+  if (out.holds) {
+    if (ts.init().is_false()) {
+      out.note = "vacuously true: no initial states";
+      return out;
+    }
+    trace.prefix.push_back(ts.pick_state(ts.init()));
+    show_true(enf, trace);
+    out.note = walked_temporal_
+                   ? "witness: execution demonstrating the formula"
+                   : "formula holds; universal properties have no "
+                     "single-path witness";
+  } else {
+    trace.prefix.push_back(ts.pick_state(ts.init() - sat));
+    show_false(enf, trace);
+    out.note = walked_temporal_
+                   ? "counterexample: execution violating the formula"
+                   : "counterexample: initial state violating the formula";
+  }
+
+  // Extend finite temporal evidence to an infinite fair execution, as the
+  // paper prescribes for EU/EX witnesses.
+  if (walked_temporal_ && !trace.is_lasso()) {
+    if (trace.prefix.back().intersects(checker_.fair_states())) {
+      generator_.extend_to_fair(trace);
+    }
+  }
+
+  const bool informative =
+      walked_temporal_ || trace.is_lasso() || trace.length() > 1 || !out.holds;
+  if (informative) {
+    out.trace = std::move(trace);
+    out.obligations = obligations_;
+  }
+  return out;
+}
+
+bool Explainer::show_true(const Formula::Ptr& f, Trace& trace) {
+  if (trace.is_lasso()) return true;  // an EG lasso already closed the path
+  const bdd::Bdd here = last_state(trace);
+  switch (f->kind()) {
+    case Kind::kTrue:
+    case Kind::kAtom:
+      return true;
+    case Kind::kFalse:
+      throw std::logic_error("show_true: false cannot hold");
+    case Kind::kNot:
+      return show_false(f->lhs(), trace);
+    case Kind::kAnd: {
+      // Both hold; a single path can demonstrate only one temporal
+      // conjunct, so prefer the one with temporal content.
+      if (ctl::is_propositional(f->lhs())) return show_true(f->rhs(), trace);
+      return show_true(f->lhs(), trace);
+    }
+    case Kind::kOr: {
+      const bool lhs_holds = here.implies(checker_.states_enf(f->lhs()));
+      const bool rhs_holds = here.implies(checker_.states_enf(f->rhs()));
+      // Demonstrate a true propositional disjunct for the shortest trace,
+      // otherwise whichever temporal disjunct holds.
+      if (lhs_holds && ctl::is_propositional(f->lhs())) return true;
+      if (rhs_holds && ctl::is_propositional(f->rhs())) return true;
+      return show_true(lhs_holds ? f->lhs() : f->rhs(), trace);
+    }
+    case Kind::kXor: {
+      const bool lhs_holds = here.implies(checker_.states_enf(f->lhs()));
+      return lhs_holds ? show_true(f->lhs(), trace)
+                       : show_true(f->rhs(), trace);
+    }
+    case Kind::kEX: {
+      walked_temporal_ = true;
+      const bdd::Bdd good =
+          checker_.states_enf(f->lhs()) & checker_.fair_states();
+      auto& ts = checker_.system();
+      const bdd::Bdd t = ts.pick_state(
+          ts.image(here, checker_.options().image_method) & good);
+      trace.prefix.push_back(t);
+      obligations_.push_back(t);  // the chosen successor must survive cuts
+      return show_true(f->lhs(), trace);
+    }
+    case Kind::kEU: {
+      walked_temporal_ = true;
+      const bdd::Bdd inv = checker_.states_enf(f->lhs());
+      const bdd::Bdd target =
+          checker_.states_enf(f->rhs()) & checker_.fair_states();
+      const std::vector<bdd::Bdd> rings = checker_.eu_rings(inv, target);
+      std::vector<bdd::Bdd> path = generator_.walk_rings(rings, here);
+      trace.prefix.insert(trace.prefix.end(), path.begin() + 1, path.end());
+      obligations_.push_back(path.back());  // the reached target state
+      return show_true(f->rhs(), trace);
+    }
+    case Kind::kEG: {
+      walked_temporal_ = true;
+      const bdd::Bdd inv = checker_.states_enf(f->lhs());
+      const Trace lasso = generator_.eg(inv, here);
+      trace.prefix.pop_back();
+      trace.prefix.insert(trace.prefix.end(), lasso.prefix.begin(),
+                          lasso.prefix.end());
+      trace.cycle = lasso.cycle;
+      return true;
+    }
+    default:
+      throw std::logic_error("show_true: formula not in ENF");
+  }
+}
+
+bool Explainer::show_false(const Formula::Ptr& f, Trace& trace) {
+  if (trace.is_lasso()) return true;
+  const bdd::Bdd here = last_state(trace);
+  switch (f->kind()) {
+    case Kind::kFalse:
+    case Kind::kAtom:
+      return true;
+    case Kind::kTrue:
+      throw std::logic_error("show_false: true cannot fail");
+    case Kind::kNot:
+      return show_true(f->lhs(), trace);
+    case Kind::kAnd: {
+      const bool lhs_fails = !here.implies(checker_.states_enf(f->lhs()));
+      const bool rhs_fails = !here.implies(checker_.states_enf(f->rhs()));
+      // Prefer explaining a failing temporal conjunct -- that is where a
+      // path adds information.
+      if (lhs_fails && rhs_fails) {
+        if (ctl::is_propositional(f->lhs())) return show_false(f->rhs(), trace);
+        return show_false(f->lhs(), trace);
+      }
+      return show_false(lhs_fails ? f->lhs() : f->rhs(), trace);
+    }
+    case Kind::kOr: {
+      // Both disjuncts fail; explain the temporal one.
+      if (ctl::is_propositional(f->lhs())) return show_false(f->rhs(), trace);
+      return show_false(f->lhs(), trace);
+    }
+    case Kind::kXor: {
+      // Either both hold or both fail; show the lhs side's actual value.
+      const bool lhs_holds = here.implies(checker_.states_enf(f->lhs()));
+      return lhs_holds ? show_true(f->lhs(), trace)
+                       : show_false(f->lhs(), trace);
+    }
+    case Kind::kEX:
+    case Kind::kEU:
+    case Kind::kEG:
+      // The negation of an existential formula is universal: no single
+      // path demonstrates it.  The trace so far already points at the
+      // state where it fails.
+      return false;
+    default:
+      throw std::logic_error("show_false: formula not in ENF");
+  }
+}
+
+}  // namespace symcex::core

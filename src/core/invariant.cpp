@@ -1,0 +1,50 @@
+#include "core/invariant.hpp"
+
+#include <vector>
+
+namespace symcex::core {
+
+InvariantResult check_invariant(Checker& checker, const bdd::Bdd& invariant,
+                                bool extend_to_fair) {
+  auto& ts = checker.system();
+  const auto method = checker.options().image_method;
+  // A state violates only if it is the start of some fair path (matching
+  // the fair semantics of AG used by the CTL checker).
+  const bdd::Bdd bad = (!invariant) & checker.fair_states();
+
+  InvariantResult out;
+  std::vector<bdd::Bdd> layers;  // layers[k]: states first reached at k
+  bdd::Bdd reached = ts.init();
+  bdd::Bdd frontier = ts.init();
+  while (!frontier.is_false()) {
+    if (frontier.intersects(bad)) {
+      // Reconstruct a shortest path backward through the layers.
+      layers.push_back(frontier);
+      std::vector<bdd::Bdd> path{ts.pick_state(frontier & bad)};
+      for (std::size_t k = layers.size() - 1; k-- > 0;) {
+        const bdd::Bdd pre = ts.preimage(path.back(), method);
+        path.push_back(ts.pick_state(pre & layers[k]));
+      }
+      Trace trace;
+      trace.prefix.assign(path.rbegin(), path.rend());
+      if (extend_to_fair) {
+        WitnessGenerator generator(checker);
+        generator.extend_to_fair(trace);
+      }
+      out.holds = false;
+      out.counterexample = std::move(trace);
+      out.depth = layers.size() - 1;
+      return out;
+    }
+    layers.push_back(frontier);
+    const bdd::Bdd next = ts.image(frontier, method);
+    frontier = next - reached;
+    reached |= frontier;
+    ++out.depth;
+  }
+  out.holds = true;
+  out.depth = layers.size() == 0 ? 0 : layers.size() - 1;
+  return out;
+}
+
+}  // namespace symcex::core

@@ -1,0 +1,148 @@
+#include "core/trace_util.hpp"
+
+#include <map>
+#include <random>
+
+namespace symcex::core {
+
+namespace {
+
+/// Do the given states cover every predicate in `required`?
+bool covers(const std::vector<bdd::Bdd>& states,
+            const std::vector<bdd::Bdd>& required) {
+  for (const auto& pred : required) {
+    bool hit = false;
+    for (const auto& s : states) {
+      if (s.intersects(pred)) {
+        hit = true;
+        break;
+      }
+    }
+    if (!hit) return false;
+  }
+  return true;
+}
+
+/// Remove loops (segments between two occurrences of the same state) from
+/// a path, keeping coverage of `required`.  Greedy left-to-right: a cut is
+/// taken whenever the result still covers everything.
+std::vector<bdd::Bdd> cut_loops(const std::vector<bdd::Bdd>& path,
+                                const std::vector<bdd::Bdd>& required,
+                                const std::vector<bdd::Bdd>& context) {
+  std::vector<bdd::Bdd> out = path;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    std::map<bdd::Bdd, std::size_t> first;
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      const auto it = first.find(out[i]);
+      if (it == first.end()) {
+        first.emplace(out[i], i);
+        continue;
+      }
+      // Candidate: drop (it->second, i]; the state repeats, so the path
+      // remains connected.
+      std::vector<bdd::Bdd> candidate(out.begin(),
+                                      out.begin() + it->second + 1);
+      candidate.insert(candidate.end(), out.begin() + i + 1, out.end());
+      std::vector<bdd::Bdd> full = candidate;
+      full.insert(full.end(), context.begin(), context.end());
+      if (covers(full, required)) {
+        out = std::move(candidate);
+        changed = true;
+        break;
+      }
+      // The long cut loses an obligation; slide the window so a later
+      // repeat can still cut the shorter loop starting here.
+      it->second = i;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Trace shorten(const Trace& trace, const ts::TransitionSystem& ts,
+              const std::vector<bdd::Bdd>& obligations) {
+  Trace out = trace;
+
+  if (!out.cycle.empty()) {
+    // If a prefix state already lies on the cycle, jump into the cycle
+    // there: drop the rest of the prefix and rotate the cycle.
+    for (std::size_t i = 0; i < out.prefix.size(); ++i) {
+      std::size_t at = out.cycle.size();
+      for (std::size_t j = 0; j < out.cycle.size(); ++j) {
+        if (out.cycle[j] == out.prefix[i]) {
+          at = j;
+          break;
+        }
+      }
+      if (at == out.cycle.size()) continue;
+      std::vector<bdd::Bdd> rotated(out.cycle.begin() + at, out.cycle.end());
+      rotated.insert(rotated.end(), out.cycle.begin(), out.cycle.begin() + at);
+      std::vector<bdd::Bdd> prefix(out.prefix.begin(),
+                                   out.prefix.begin() + i);
+      std::vector<bdd::Bdd> all = prefix;
+      all.insert(all.end(), rotated.begin(), rotated.end());
+      if (covers(all, obligations)) {
+        out.prefix = std::move(prefix);
+        out.cycle = std::move(rotated);
+      }
+      break;
+    }
+  }
+
+  // Cut revisited-state loops in the prefix (the cycle provides context
+  // for obligations that live on it).
+  if (!out.prefix.empty()) {
+    out.prefix = cut_loops(out.prefix, obligations, out.cycle);
+  }
+
+  // Cut loops inside the cycle, preserving obligations and the system's
+  // fairness constraints (a fair lasso must stay fair).  The cycle's
+  // endpoints must keep their identity: cut_loops preserves the first and
+  // last occurrence structure, and the wrap-around edge survives because
+  // the first and last states are unchanged.
+  if (out.cycle.size() > 1) {
+    std::vector<bdd::Bdd> required = obligations;
+    for (const auto& h : ts.fairness()) required.push_back(h);
+    out.cycle = cut_loops(out.cycle, required, out.prefix);
+  }
+  return out;
+}
+
+Trace simulate(const ts::TransitionSystem& ts,
+               const SimulateOptions& options) {
+  std::mt19937_64 rng(options.seed);
+  auto& manager = const_cast<ts::TransitionSystem&>(ts).manager();
+
+  const bdd::Bdd constraint =
+      options.constraint.is_null() ? manager.one() : options.constraint;
+
+  // Random concrete state from a set: fix each variable to a random value
+  // when both cofactors stay satisfiable.
+  auto pick_random = [&](bdd::Bdd set) {
+    bdd::Bdd state = manager.one();
+    for (ts::VarId v = 0; v < ts.num_state_vars(); ++v) {
+      const bool coin = (rng() & 1) != 0;
+      bdd::Bdd lit = coin ? ts.cur(v) : !ts.cur(v);
+      if ((set & lit).is_false()) lit = !lit;
+      set &= lit;
+      state &= lit;
+    }
+    return state;
+  };
+
+  Trace out;
+  const bdd::Bdd start_set = ts.init() & constraint;
+  if (start_set.is_false()) return out;
+  out.prefix.push_back(pick_random(start_set));
+  for (std::size_t i = 0; i < options.steps; ++i) {
+    const bdd::Bdd successors = ts.image(out.prefix.back()) & constraint;
+    if (successors.is_false()) break;  // deadlock (or constraint exhausted)
+    out.prefix.push_back(pick_random(successors));
+  }
+  return out;
+}
+
+}  // namespace symcex::core

@@ -1,0 +1,51 @@
+// SymCeX -- trace post-processing and simulation.
+//
+// Section 9 of the paper lists two practical gaps this module addresses:
+//
+//   * "Techniques for generating even shorter counterexamples will make
+//     symbolic model checking more useful in practice."  shorten() removes
+//     revisited-state loops from a finite witness: any segment between two
+//     occurrences of the same state can be cut, and a prefix that already
+//     touches the cycle can jump straight into it.  Cuts are only applied
+//     when every caller-supplied obligation predicate (e.g. "the violating
+//     state", "each fairness constraint on the cycle") remains represented,
+//     so the shortened trace demonstrates the same property.
+//
+//   * Engineers reading traces benefit from concrete executions: simulate()
+//     produces a random walk through the model (the SMV simulation
+//     feature), usable for exploration and as test stimulus.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/trace.hpp"
+#include "ts/transition_system.hpp"
+
+namespace symcex::core {
+
+/// Remove revisited-state loops from `trace` while preserving:
+///   * path validity (every consecutive pair stays a transition),
+///   * at least one state satisfying each predicate in `obligations`
+///     (checked separately on the cycle for cycle obligations),
+///   * every fairness constraint of `ts` on the cycle (if one exists).
+/// Returns the shortened trace (never longer than the input).
+[[nodiscard]] Trace shorten(const Trace& trace,
+                            const ts::TransitionSystem& ts,
+                            const std::vector<bdd::Bdd>& obligations = {});
+
+struct SimulateOptions {
+  std::size_t steps = 20;     ///< maximum number of transitions to take
+  std::uint64_t seed = 1;     ///< RNG seed (same seed -> same walk)
+  /// Optional state predicate every visited state must satisfy; the walk
+  /// stops early when no constrained successor exists.
+  bdd::Bdd constraint;
+};
+
+/// Random walk from a random initial state; the result has an empty cycle
+/// and length <= steps + 1 (shorter if a deadlock is reached).
+[[nodiscard]] Trace simulate(const ts::TransitionSystem& ts,
+                             const SimulateOptions& options = {});
+
+}  // namespace symcex::core

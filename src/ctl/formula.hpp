@@ -1,0 +1,168 @@
+// SymCeX -- CTL / CTL* formulas.
+//
+// An immutable, shared AST covering full CTL* (Section 7 of the paper);
+// CTL proper (Section 3) is the sublanguage where every path operator is
+// directly preceded by a path quantifier, which the parser folds into the
+// combined kinds kEX/kEU/kEG/... .  Universal operators are syntactic
+// abbreviations over the existential ones; to_existential_normal_form
+// performs that rewriting exactly as Section 3 defines it:
+//
+//   AX f      ==  !EX !f
+//   EF f      ==  E[true U f]
+//   AF f      ==  !EG !f
+//   AG f      ==  !EF !f
+//   A[f U g]  ==  !E[!g U (!f & !g)] & !EG !g
+
+#pragma once
+
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace symcex::ctl {
+
+enum class Kind {
+  // propositional
+  kTrue,
+  kFalse,
+  kAtom,
+  kNot,
+  kAnd,
+  kOr,
+  kXor,
+  kImplies,
+  kIff,
+  // CTL (quantifier fused with path operator)
+  kEX,
+  kEF,
+  kEG,
+  kEU,  // E[lhs U rhs]
+  kAX,
+  kAF,
+  kAG,
+  kAU,  // A[lhs U rhs]
+  // CTL* building blocks
+  kE,  // E(path formula)
+  kA,  // A(path formula)
+  kX,
+  kF,
+  kG,
+  kU,  // lhs U rhs
+};
+
+/// One CTL* formula node.  Construct via the static factories; nodes are
+/// immutable and shared (structural subterms may alias freely).
+class Formula {
+ public:
+  using Ptr = std::shared_ptr<const Formula>;
+
+  [[nodiscard]] Kind kind() const { return kind_; }
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] const Ptr& lhs() const { return lhs_; }
+  [[nodiscard]] const Ptr& rhs() const { return rhs_; }
+
+  // -- factories -------------------------------------------------------------
+  static Ptr make_true();
+  static Ptr make_false();
+  static Ptr atom(std::string name);
+  static Ptr negate(Ptr f);
+  static Ptr conj(Ptr f, Ptr g);
+  static Ptr disj(Ptr f, Ptr g);
+  static Ptr exclusive_or(Ptr f, Ptr g);
+  static Ptr implies(Ptr f, Ptr g);
+  static Ptr iff(Ptr f, Ptr g);
+
+  static Ptr EX(Ptr f);
+  static Ptr EF(Ptr f);
+  static Ptr EG(Ptr f);
+  static Ptr EU(Ptr f, Ptr g);
+  static Ptr AX(Ptr f);
+  static Ptr AF(Ptr f);
+  static Ptr AG(Ptr f);
+  static Ptr AU(Ptr f, Ptr g);
+
+  static Ptr E(Ptr path);
+  static Ptr A(Ptr path);
+  static Ptr X(Ptr f);
+  static Ptr F(Ptr f);
+  static Ptr G(Ptr f);
+  static Ptr U(Ptr f, Ptr g);
+
+  /// Rebuild an operator node of the given kind with new children
+  /// (leaves -- atoms/constants -- cannot be rebuilt this way).
+  static Ptr rebuild(Kind kind, Ptr lhs, Ptr rhs = nullptr);
+
+ private:
+  Formula(Kind kind, std::string name, Ptr lhs, Ptr rhs)
+      : kind_(kind), name_(std::move(name)), lhs_(std::move(lhs)),
+        rhs_(std::move(rhs)) {}
+  static Ptr node(Kind kind, Ptr lhs = nullptr, Ptr rhs = nullptr);
+
+  Kind kind_;
+  std::string name_;
+  Ptr lhs_;
+  Ptr rhs_;
+};
+
+/// Render with minimal parentheses, SMV-flavoured syntax
+/// (e.g. "AG (req -> AF ack)", "E [p U q]", "E (GF p | FG q)").
+[[nodiscard]] std::string to_string(const Formula::Ptr& f);
+
+/// Is this a propositional formula (no temporal operators)?
+[[nodiscard]] bool is_propositional(const Formula::Ptr& f);
+
+/// Is this a CTL state formula (every path operator fused with a
+/// quantifier, i.e. no bare kE/kA/kX/kF/kG/kU nodes)?
+[[nodiscard]] bool is_ctl(const Formula::Ptr& f);
+
+/// Rewrite all universal CTL operators (and EF) into the base
+/// {EX, EU, EG} + boolean connectives, per Section 3.
+[[nodiscard]] Formula::Ptr to_existential_normal_form(const Formula::Ptr& f);
+
+/// Structural equality (names compared by value).
+[[nodiscard]] bool equal(const Formula::Ptr& a, const Formula::Ptr& b);
+
+/// All atomic proposition names occurring in f, sorted, deduplicated.
+[[nodiscard]] std::vector<std::string> atoms(const Formula::Ptr& f);
+
+/// Number of AST nodes.
+[[nodiscard]] std::size_t size(const Formula::Ptr& f);
+/// Nesting depth of temporal operators (0 for propositional formulas).
+[[nodiscard]] std::size_t temporal_depth(const Formula::Ptr& f);
+
+/// Replace every atom named `name` by formula g (capture is not a concern:
+/// atoms are free names).
+[[nodiscard]] Formula::Ptr substitute(const Formula::Ptr& f,
+                                      const std::string& name,
+                                      const Formula::Ptr& g);
+
+/// Constant folding and involution cleanup: !!f -> f, f & true -> f,
+/// f | false -> f, f & false -> false, EX false -> false, AX true -> true,
+/// EF false -> false, AG true -> true, and the like.  Semantics-preserving.
+[[nodiscard]] Formula::Ptr simplify(const Formula::Ptr& f);
+
+/// Error thrown by parse() with a message and character position.
+class ParseError : public std::runtime_error {
+ public:
+  ParseError(const std::string& message, std::size_t position)
+      : std::runtime_error(message + " (at position " +
+                           std::to_string(position) + ")"),
+        position_(position) {}
+  [[nodiscard]] std::size_t position() const { return position_; }
+
+ private:
+  std::size_t position_;
+};
+
+/// Parse a CTL* formula.  Accepted syntax (precedence low to high):
+///
+///   f <-> g | f -> g | f | g | f xor g | f & g | f U g
+///   ! f, EX f, EF f, EG f, AX f, AF f, AG f, E f, A f, X f, F f, G f
+///   E [f U g], A [f U g], true, false, identifiers, ( f )
+///
+/// "GF p" parses as G (F p); "->" is right-associative; "U" is
+/// right-associative.
+[[nodiscard]] Formula::Ptr parse(const std::string& text);
+
+}  // namespace symcex::ctl

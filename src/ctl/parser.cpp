@@ -1,0 +1,347 @@
+#include <cctype>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "ctl/formula.hpp"
+
+namespace symcex::ctl {
+
+namespace {
+
+enum class Tok {
+  kEnd,
+  kLParen,
+  kRParen,
+  kLBracket,
+  kRBracket,
+  kNot,
+  kAnd,
+  kOr,
+  kXor,
+  kImplies,
+  kIff,
+  kTrue,
+  kFalse,
+  kEX,
+  kEF,
+  kEG,
+  kAX,
+  kAF,
+  kAG,
+  kE,
+  kA,
+  kX,
+  kF,
+  kG,
+  kU,
+  kAtom,
+};
+
+struct Token {
+  Tok kind;
+  std::string text;
+  std::size_t pos;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& text) : text_(text) { advance(); }
+
+  [[nodiscard]] const Token& peek() const { return current_; }
+
+  Token take() {
+    Token t = current_;
+    advance();
+    return t;
+  }
+
+ private:
+  void advance() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+    const std::size_t start = pos_;
+    if (pos_ >= text_.size()) {
+      current_ = {Tok::kEnd, "", start};
+      return;
+    }
+    const char c = text_[pos_];
+    auto punct = [&](Tok k, std::size_t len) {
+      pos_ += len;
+      current_ = {k, text_.substr(start, len), start};
+    };
+    switch (c) {
+      case '(':
+        return punct(Tok::kLParen, 1);
+      case ')':
+        return punct(Tok::kRParen, 1);
+      case '[':
+        return punct(Tok::kLBracket, 1);
+      case ']':
+        return punct(Tok::kRBracket, 1);
+      case '!':
+        return punct(Tok::kNot, 1);
+      case '&':
+        return punct(Tok::kAnd, 1);
+      case '|':
+        return punct(Tok::kOr, 1);
+      case '-':
+        if (pos_ + 1 < text_.size() && text_[pos_ + 1] == '>') {
+          return punct(Tok::kImplies, 2);
+        }
+        throw ParseError("unexpected '-'", start);
+      case '<':
+        if (pos_ + 2 < text_.size() && text_[pos_ + 1] == '-' &&
+            text_[pos_ + 2] == '>') {
+          return punct(Tok::kIff, 3);
+        }
+        throw ParseError("unexpected '<'", start);
+      default:
+        break;
+    }
+    if (!std::isalpha(static_cast<unsigned char>(c)) && c != '_') {
+      throw ParseError(std::string("unexpected character '") + c + "'", start);
+    }
+    while (pos_ < text_.size() &&
+           (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '_' || text_[pos_] == '.')) {
+      ++pos_;
+    }
+    const std::string word = text_.substr(start, pos_ - start);
+    Tok kind = Tok::kAtom;
+    if (word == "true" || word == "TRUE") {
+      kind = Tok::kTrue;
+    } else if (word == "false" || word == "FALSE") {
+      kind = Tok::kFalse;
+    } else if (word == "xor") {
+      kind = Tok::kXor;
+    } else if (word == "EX") {
+      kind = Tok::kEX;
+    } else if (word == "EF") {
+      kind = Tok::kEF;
+    } else if (word == "EG") {
+      kind = Tok::kEG;
+    } else if (word == "AX") {
+      kind = Tok::kAX;
+    } else if (word == "AF") {
+      kind = Tok::kAF;
+    } else if (word == "AG") {
+      kind = Tok::kAG;
+    } else if (word == "E") {
+      kind = Tok::kE;
+    } else if (word == "A") {
+      kind = Tok::kA;
+    } else if (word == "X") {
+      kind = Tok::kX;
+    } else if (word == "F") {
+      kind = Tok::kF;
+    } else if (word == "G") {
+      kind = Tok::kG;
+    } else if (word == "U") {
+      kind = Tok::kU;
+    }
+    current_ = {kind, word, start};
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+  Token current_{Tok::kEnd, "", 0};
+};
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : lex_(text) {}
+
+  Formula::Ptr parse_all() {
+    Formula::Ptr f = parse_iff();
+    if (lex_.peek().kind != Tok::kEnd) {
+      throw ParseError("trailing input '" + lex_.peek().text + "'",
+                       lex_.peek().pos);
+    }
+    return f;
+  }
+
+ private:
+  Formula::Ptr parse_iff() {
+    Formula::Ptr f = parse_implies();
+    while (lex_.peek().kind == Tok::kIff) {
+      lex_.take();
+      f = Formula::iff(f, parse_implies());
+    }
+    return f;
+  }
+
+  Formula::Ptr parse_implies() {
+    Formula::Ptr f = parse_or();
+    if (lex_.peek().kind == Tok::kImplies) {
+      lex_.take();
+      return Formula::implies(f, parse_implies());  // right-assoc
+    }
+    return f;
+  }
+
+  Formula::Ptr parse_or() {
+    Formula::Ptr f = parse_xor();
+    while (lex_.peek().kind == Tok::kOr) {
+      lex_.take();
+      f = Formula::disj(f, parse_xor());
+    }
+    return f;
+  }
+
+  Formula::Ptr parse_xor() {
+    Formula::Ptr f = parse_and();
+    while (lex_.peek().kind == Tok::kXor) {
+      lex_.take();
+      f = Formula::exclusive_or(f, parse_and());
+    }
+    return f;
+  }
+
+  Formula::Ptr parse_and() {
+    Formula::Ptr f = parse_until();
+    while (lex_.peek().kind == Tok::kAnd) {
+      lex_.take();
+      f = Formula::conj(f, parse_until());
+    }
+    return f;
+  }
+
+  Formula::Ptr parse_until() {
+    Formula::Ptr f = parse_unary();
+    if (!no_until_ && lex_.peek().kind == Tok::kU) {
+      lex_.take();
+      return Formula::U(f, parse_until());  // right-assoc
+    }
+    return f;
+  }
+
+  Formula::Ptr parse_unary() {
+    const Token t = lex_.peek();
+    switch (t.kind) {
+      case Tok::kNot:
+        lex_.take();
+        return Formula::negate(parse_unary());
+      case Tok::kEX:
+        lex_.take();
+        return Formula::EX(parse_unary());
+      case Tok::kEF:
+        lex_.take();
+        return Formula::EF(parse_unary());
+      case Tok::kEG:
+        lex_.take();
+        return Formula::EG(parse_unary());
+      case Tok::kAX:
+        lex_.take();
+        return Formula::AX(parse_unary());
+      case Tok::kAF:
+        lex_.take();
+        return Formula::AF(parse_unary());
+      case Tok::kAG:
+        lex_.take();
+        return Formula::AG(parse_unary());
+      case Tok::kE:
+        lex_.take();
+        return parse_quantified(/*existential=*/true);
+      case Tok::kA:
+        lex_.take();
+        return parse_quantified(/*existential=*/false);
+      case Tok::kX:
+        lex_.take();
+        return Formula::X(parse_unary());
+      case Tok::kF:
+        lex_.take();
+        return Formula::F(parse_unary());
+      case Tok::kG:
+        lex_.take();
+        return Formula::G(parse_unary());
+      default:
+        return parse_primary();
+    }
+  }
+
+  /// After an E or A: either "[f U g]" (CTL until) or a path formula.
+  Formula::Ptr parse_quantified(bool existential) {
+    if (lex_.peek().kind == Tok::kLBracket) {
+      lex_.take();
+      // Inside the brackets the 'U' is the top-level separator; disable
+      // the infix-until level while parsing the left operand so it does
+      // not swallow it (nested E[..U..] restore the flag themselves).
+      const bool saved = no_until_;
+      no_until_ = true;
+      Formula::Ptr f = parse_iff();
+      no_until_ = saved;
+      expect(Tok::kU, "'U'");
+      Formula::Ptr g = parse_iff();
+      expect(Tok::kRBracket, "']'");
+      return existential ? Formula::EU(f, g) : Formula::AU(f, g);
+    }
+    const bool saved = no_until_;
+    no_until_ = false;
+    Formula::Ptr path = parse_unary();
+    no_until_ = saved;
+    // Fold E X f -> EX f etc. so E(G f) round-trips as the CTL operator
+    // when the body is a state formula; otherwise keep the CTL* node.
+    if (path->kind() == Kind::kX && is_ctl(path->lhs())) {
+      return existential ? Formula::EX(path->lhs()) : Formula::AX(path->lhs());
+    }
+    if (path->kind() == Kind::kF && is_ctl(path->lhs())) {
+      return existential ? Formula::EF(path->lhs()) : Formula::AF(path->lhs());
+    }
+    if (path->kind() == Kind::kG && is_ctl(path->lhs())) {
+      return existential ? Formula::EG(path->lhs()) : Formula::AG(path->lhs());
+    }
+    if (path->kind() == Kind::kU && is_ctl(path->lhs()) &&
+        is_ctl(path->rhs())) {
+      return existential ? Formula::EU(path->lhs(), path->rhs())
+                         : Formula::AU(path->lhs(), path->rhs());
+    }
+    return existential ? Formula::E(path) : Formula::A(path);
+  }
+
+  Formula::Ptr parse_primary() {
+    const Token t = lex_.take();
+    switch (t.kind) {
+      case Tok::kTrue:
+        return Formula::make_true();
+      case Tok::kFalse:
+        return Formula::make_false();
+      case Tok::kAtom:
+        return Formula::atom(t.text);
+      case Tok::kLParen: {
+        // Parentheses open a fresh context: an infix 'U' inside them is a
+        // path operator again even in a bracket's left operand.
+        const bool saved = no_until_;
+        no_until_ = false;
+        Formula::Ptr f = parse_iff();
+        no_until_ = saved;
+        expect(Tok::kRParen, "')'");
+        return f;
+      }
+      default:
+        throw ParseError("unexpected token '" + t.text + "'", t.pos);
+    }
+  }
+
+  void expect(Tok kind, const char* what) {
+    const Token t = lex_.take();
+    if (t.kind != kind) {
+      throw ParseError(std::string("expected ") + what + ", found '" + t.text +
+                           "'",
+                       t.pos);
+    }
+  }
+
+  Lexer lex_;
+  bool no_until_ = false;
+};
+
+}  // namespace
+
+Formula::Ptr parse(const std::string& text) {
+  return Parser(text).parse_all();
+}
+
+}  // namespace symcex::ctl

@@ -1,0 +1,319 @@
+#include "ctlstar/star_checker.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace symcex::ctlstar {
+
+using ctl::Formula;
+using ctl::Kind;
+
+// ---------------------------------------------------------------------------
+// Fragment recognition
+// ---------------------------------------------------------------------------
+
+namespace {
+
+using Dnf = std::vector<std::vector<FormulaConjunct>>;
+
+/// Can two single-conjunct disjuncts merge into one mixed conjunct?
+/// GF p1 | GF p2 == GF (p1 | p2) (pigeonhole), and at most one FG side
+/// survives, giving the paper's canonical (GF p | FG q) shape.
+std::optional<FormulaConjunct> merge_disjuncts(const FormulaConjunct& a,
+                                               const FormulaConjunct& b) {
+  if (a.q != nullptr && b.q != nullptr) return std::nullopt;
+  FormulaConjunct out;
+  if (a.p == nullptr) {
+    out.p = b.p;
+  } else if (b.p == nullptr) {
+    out.p = a.p;
+  } else {
+    out.p = Formula::disj(a.p, b.p);
+  }
+  out.q = a.q != nullptr ? a.q : b.q;
+  return out;
+}
+
+/// DNF of a path formula built from &, | over GF x / FG x atoms.
+std::optional<Dnf> path_dnf(const Formula::Ptr& f) {
+  switch (f->kind()) {
+    case Kind::kOr: {
+      auto a = path_dnf(f->lhs());
+      auto b = path_dnf(f->rhs());
+      if (!a || !b) return std::nullopt;
+      // Keep "GF p | FG q" as one mixed conjunct when possible; this is
+      // the form Section 7's case split is stated for and avoids an
+      // exponential disjunct blow-up.
+      if (a->size() == 1 && b->size() == 1 && (*a)[0].size() == 1 &&
+          (*b)[0].size() == 1) {
+        if (const auto merged = merge_disjuncts((*a)[0][0], (*b)[0][0])) {
+          return Dnf{{*merged}};
+        }
+      }
+      a->insert(a->end(), b->begin(), b->end());
+      return a;
+    }
+    case Kind::kAnd: {
+      auto a = path_dnf(f->lhs());
+      auto b = path_dnf(f->rhs());
+      if (!a || !b) return std::nullopt;
+      Dnf out;
+      for (const auto& ca : *a) {
+        for (const auto& cb : *b) {
+          std::vector<FormulaConjunct> merged = ca;
+          merged.insert(merged.end(), cb.begin(), cb.end());
+          out.push_back(std::move(merged));
+        }
+      }
+      return out;
+    }
+    case Kind::kG:
+      if (f->lhs()->kind() == Kind::kF && ctl::is_ctl(f->lhs()->lhs())) {
+        return Dnf{{FormulaConjunct{f->lhs()->lhs(), nullptr}}};  // GF p
+      }
+      return std::nullopt;
+    case Kind::kF:
+      if (f->lhs()->kind() == Kind::kG && ctl::is_ctl(f->lhs()->lhs())) {
+        return Dnf{{FormulaConjunct{nullptr, f->lhs()->lhs()}}};  // FG q
+      }
+      return std::nullopt;
+    default:
+      return std::nullopt;
+  }
+}
+
+}  // namespace
+
+std::optional<FragmentSpec> match_fragment(const Formula::Ptr& f) {
+  if (f->kind() == Kind::kOr) {
+    // E distributes over |: a disjunction of fragment formulas is one too.
+    auto a = match_fragment(f->lhs());
+    auto b = match_fragment(f->rhs());
+    if (!a || !b) return std::nullopt;
+    a->disjuncts.insert(a->disjuncts.end(), b->disjuncts.begin(),
+                        b->disjuncts.end());
+    return a;
+  }
+  if (f->kind() != Kind::kE) return std::nullopt;
+  const auto dnf = path_dnf(f->lhs());
+  if (!dnf) return std::nullopt;
+  return FragmentSpec{*dnf};
+}
+
+std::optional<Formula::Ptr> negate_path(const Formula::Ptr& path) {
+  switch (path->kind()) {
+    case Kind::kOr: {
+      const auto a = negate_path(path->lhs());
+      const auto b = negate_path(path->rhs());
+      if (!a || !b) return std::nullopt;
+      return Formula::conj(*a, *b);
+    }
+    case Kind::kAnd: {
+      const auto a = negate_path(path->lhs());
+      const auto b = negate_path(path->rhs());
+      if (!a || !b) return std::nullopt;
+      return Formula::disj(*a, *b);
+    }
+    case Kind::kG:
+      if (path->lhs()->kind() == Kind::kF && ctl::is_ctl(path->lhs()->lhs())) {
+        // !(G F x) = F G !x
+        return Formula::F(Formula::G(Formula::negate(path->lhs()->lhs())));
+      }
+      return std::nullopt;
+    case Kind::kF:
+      if (path->lhs()->kind() == Kind::kG && ctl::is_ctl(path->lhs()->lhs())) {
+        // !(F G x) = G F !x
+        return Formula::G(Formula::F(Formula::negate(path->lhs()->lhs())));
+      }
+      return std::nullopt;
+    default:
+      return std::nullopt;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// StarChecker
+// ---------------------------------------------------------------------------
+
+StarChecker::StarChecker(core::Checker& base,
+                         const core::WitnessOptions& options)
+    : base_(base), generator_(base, options) {}
+
+std::vector<Conjunct> StarChecker::lower(
+    const std::vector<FormulaConjunct>& cs) {
+  std::vector<Conjunct> out;
+  out.reserve(cs.size());
+  const bdd::Bdd zero = base_.system().manager().zero();
+  for (const auto& c : cs) {
+    out.push_back(Conjunct{c.p != nullptr ? base_.states(c.p) : zero,
+                           c.q != nullptr ? base_.states(c.q) : zero});
+  }
+  return out;
+}
+
+std::vector<Conjunct> StarChecker::augment(std::vector<Conjunct> cs) const {
+  const bdd::Bdd zero = base_.system().manager().zero();
+  for (const auto& h : base_.system().fairness()) {
+    cs.push_back(Conjunct{h, zero});  // GF h
+  }
+  return cs;
+}
+
+bdd::Bdd StarChecker::fixpoint(const std::vector<Conjunct>& cs) {
+  ++fixpoint_evaluations_;
+  auto& mgr = base_.system().manager();
+  // gfp Y [ AND_j ( (q_j & EX Y) | EX E[Y U (p_j & Y)] ) ], then EF of it.
+  bdd::Bdd y = mgr.one();
+  for (;;) {
+    bdd::Bdd ynew = mgr.one();
+    for (const auto& c : cs) {
+      bdd::Bdd term = mgr.zero();
+      if (!c.q.is_false()) term |= c.q & base_.ex_raw(y);
+      if (!c.p.is_false()) term |= base_.ex_raw(base_.eu_raw(y, c.p & y));
+      ynew &= term;
+      if (ynew.is_false()) break;
+    }
+    if (ynew == y) break;
+    y = ynew;
+  }
+  return base_.eu_raw(mgr.one(), y);  // EF
+}
+
+bdd::Bdd StarChecker::check_conjunction(const std::vector<Conjunct>& cs) {
+  if (cs.empty() && base_.system().fairness().empty()) {
+    // E(empty conjunction) = E(true) = "some infinite path exists".
+    return base_.eg_raw(base_.system().manager().one());
+  }
+  return fixpoint(augment(cs));
+}
+
+core::Trace StarChecker::conjunction_witness(const std::vector<Conjunct>& cs,
+                                             const bdd::Bdd& from) {
+  auto& ts = base_.system();
+  auto& mgr = ts.manager();
+  if (!from.intersects(check_conjunction(cs))) {
+    throw std::invalid_argument(
+        "StarChecker::conjunction_witness: 'from' does not satisfy the "
+        "formula");
+  }
+  const bdd::Bdd s0 = ts.pick_state(from & check_conjunction(cs));
+
+  // Case split (Section 7): for each mixed conjunct, try to commit to the
+  // FG side; if the formula no longer holds at s0, commit to the GF side.
+  std::vector<Conjunct> work = augment(cs);
+  for (std::size_t j = 0; j < work.size(); ++j) {
+    const bool mixed = !work[j].p.is_false() && !work[j].q.is_false();
+    if (!mixed) continue;
+    Conjunct fg_only{mgr.zero(), work[j].q};
+    std::vector<Conjunct> attempt = work;
+    attempt[j] = fg_only;
+    if (s0.intersects(fixpoint(attempt))) {
+      work[j] = fg_only;  // FG q_j suffices
+    } else {
+      work[j] = Conjunct{work[j].p, mgr.zero()};  // must use GF p_j
+    }
+  }
+
+  // Pure form: E( FG(AND q) & AND GF p ) == EF EG(AND q) under fairness
+  // constraints {p_j}.
+  bdd::Bdd invariant = mgr.one();
+  std::vector<bdd::Bdd> constraints;
+  for (const auto& c : work) {
+    if (!c.q.is_false()) {
+      invariant &= c.q;
+    } else {
+      constraints.push_back(c.p);
+    }
+  }
+  const core::FairEG info = base_.eg_with_rings(invariant, constraints);
+  if (info.states.is_false()) {
+    throw std::logic_error(
+        "StarChecker::conjunction_witness: case split produced an empty EG "
+        "(internal error)");
+  }
+  // EF part: walk from s0 to the EG set, then attach the Section 6 lasso.
+  const std::vector<bdd::Bdd> rings = base_.eu_rings(mgr.one(), info.states);
+  std::vector<bdd::Bdd> path = generator_.walk_rings(rings, s0);
+  core::Trace lasso = generator_.eg(info, invariant, path.back());
+  core::Trace out;
+  out.prefix.assign(path.begin(), path.end() - 1);
+  out.prefix.insert(out.prefix.end(), lasso.prefix.begin(),
+                    lasso.prefix.end());
+  out.cycle = std::move(lasso.cycle);
+  return out;
+}
+
+bdd::Bdd StarChecker::states(const Formula::Ptr& f) {
+  const auto spec = match_fragment(f);
+  if (!spec) {
+    throw std::invalid_argument(
+        "StarChecker::states: formula is not in the fragment "
+        "E OR AND (GF p | FG q): " +
+        ctl::to_string(f));
+  }
+  bdd::Bdd out = base_.system().manager().zero();
+  for (const auto& d : spec->disjuncts) out |= check_conjunction(lower(d));
+  return out;
+}
+
+bool StarChecker::holds(const Formula::Ptr& f) {
+  return base_.system().init().implies(states(f));
+}
+
+StarExplanation StarChecker::explain(const Formula::Ptr& f) {
+  auto& ts = base_.system();
+  StarExplanation out;
+  if (f->kind() == Kind::kA) {
+    // A(path) fails iff some fair path from an initial state satisfies
+    // !path; the counterexample is the Section 7 witness for E(!path).
+    const auto negated = negate_path(f->lhs());
+    if (!negated) {
+      throw std::invalid_argument(
+          "StarChecker::explain: negated path formula leaves the fragment: " +
+          ctl::to_string(f));
+    }
+    const Formula::Ptr dual = Formula::E(*negated);
+    const bdd::Bdd violations = states(dual);
+    out.holds = !ts.init().intersects(violations);
+    if (out.holds) {
+      out.note = "formula holds on all initial states";
+    } else {
+      out.trace = witness(dual, ts.init() & violations);
+      out.note = "counterexample: fair execution satisfying " +
+                 ctl::to_string(*negated);
+    }
+    return out;
+  }
+  const bdd::Bdd sat = states(f);  // throws if not in the fragment
+  out.holds = ts.init().implies(sat);
+  if (!out.holds) {
+    out.note = "formula fails on some initial state; no single-path "
+               "counterexample for a false E-formula";
+    return out;
+  }
+  if (ts.init().is_false()) {
+    out.note = "vacuously true: no initial states";
+    return out;
+  }
+  out.trace = witness(f, ts.init());
+  out.note = "witness: fair execution demonstrating the formula";
+  return out;
+}
+
+core::Trace StarChecker::witness(const Formula::Ptr& f, const bdd::Bdd& from) {
+  const auto spec = match_fragment(f);
+  if (!spec) {
+    throw std::invalid_argument(
+        "StarChecker::witness: formula is not in the fragment");
+  }
+  for (const auto& d : spec->disjuncts) {
+    const std::vector<Conjunct> cs = lower(d);
+    if (from.intersects(check_conjunction(cs))) {
+      return conjunction_witness(cs, from);
+    }
+  }
+  throw std::invalid_argument(
+      "StarChecker::witness: no state of 'from' satisfies the formula");
+}
+
+}  // namespace symcex::ctlstar

@@ -1,0 +1,130 @@
+// SymCeX -- model checking and witnesses for the restricted CTL* fragment
+// (Section 7 of the paper):
+//
+//     E  OR_i  AND_j ( GF p_ij  |  FG q_ij )
+//
+// Since E distributes over the outer disjunction, the primitive is
+// E AND_j (GF p_j | FG q_j), checked with the fixpoint characterisation
+// of [Emerson-Lei 86] quoted by the paper:
+//
+//     E AND_j (GF p_j | FG q_j)
+//       = EF gfp Y [ AND_j ( (q_j & EX Y) | EX E[Y U (p_j & Y)] ) ]
+//
+// Witness generation follows the paper's case split: peel each mixed
+// conjunct, testing whether the formula stays true with the conjunct
+// strengthened to its FG disjunct; once every conjunct is pure the formula
+// has the shape E(FG q_1 & ... & GF p_1 & ...), which holds iff the CTL
+// formula EF EG(q_1 & ... ) is true under fairness constraints {p_j}, and
+// the Section 6 witness machinery applies verbatim.  As the paper notes in
+// Section 9, this may invoke the model checking fixpoint several times.
+//
+// Fairness constraints declared on the transition system are folded in as
+// additional GF conjuncts (a fair path must satisfy each infinitely often).
+
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "bdd/bdd.hpp"
+#include "core/checker.hpp"
+#include "core/trace.hpp"
+#include "core/witness.hpp"
+#include "ctl/formula.hpp"
+
+namespace symcex::ctlstar {
+
+/// One conjunct "GF p | FG q" at the state-set level.  A constant-false
+/// side degenerates the conjunct to the pure form (GF p == GF p | FG false).
+struct Conjunct {
+  bdd::Bdd p;  ///< the GF side (may be the zero BDD)
+  bdd::Bdd q;  ///< the FG side (may be the zero BDD)
+};
+
+/// Formula-level conjunct with CTL state subformulas.
+struct FormulaConjunct {
+  ctl::Formula::Ptr p;  ///< null means "false"
+  ctl::Formula::Ptr q;  ///< null means "false"
+};
+
+/// The fragment in disjunctive normal form over GF/FG atoms.
+struct FragmentSpec {
+  std::vector<std::vector<FormulaConjunct>> disjuncts;
+};
+
+/// Try to recognise f as E(positive boolean combination of GF x / FG x)
+/// with CTL state subformulas x; returns the DNF, or nullopt if f is not
+/// in the fragment.  A disjunction of such E-formulas is also accepted
+/// (E distributes over |).
+[[nodiscard]] std::optional<FragmentSpec> match_fragment(
+    const ctl::Formula::Ptr& f);
+
+/// Negation-normal negation of a fragment path formula:
+/// !(GF x) = FG !x, !(FG x) = GF !x, De Morgan over & and |.
+/// Returns nullopt if the formula is outside the fragment shape.
+[[nodiscard]] std::optional<ctl::Formula::Ptr> negate_path(
+    const ctl::Formula::Ptr& path);
+
+/// Verdict and demonstrating trace for a fragment formula checked on the
+/// initial states: a witness for a true E-formula, or a counterexample
+/// for a false A-formula (the witness of the negated path formula --
+/// Section 6's duality lifted to CTL*).
+struct StarExplanation {
+  bool holds = false;
+  std::optional<core::Trace> trace;
+  std::string note;
+};
+
+/// Checker/witness generator for the fragment, layered on core::Checker.
+class StarChecker {
+ public:
+  explicit StarChecker(core::Checker& base,
+                       const core::WitnessOptions& options = {});
+
+  // -- set level -------------------------------------------------------------
+
+  /// States satisfying E AND_j (GF p_j | FG q_j); the system's fairness
+  /// constraints are added as extra GF conjuncts.
+  [[nodiscard]] bdd::Bdd check_conjunction(const std::vector<Conjunct>& cs);
+
+  /// Witness lasso for the conjunction from a state of `from` (which must
+  /// intersect check_conjunction(cs)).  Every fairness constraint and
+  /// every GF p_j chosen by the case split recurs on the cycle; all cycle
+  /// states satisfy the chosen FG q_j's.
+  [[nodiscard]] core::Trace conjunction_witness(const std::vector<Conjunct>& cs,
+                                                const bdd::Bdd& from);
+
+  // -- formula level -----------------------------------------------------------
+
+  /// States satisfying a fragment formula (union over its disjuncts).
+  /// Throws if f is not in the fragment.
+  [[nodiscard]] bdd::Bdd states(const ctl::Formula::Ptr& f);
+  /// Does every initial state satisfy f?
+  [[nodiscard]] bool holds(const ctl::Formula::Ptr& f);
+  /// Witness for a fragment formula from a state of `from`.
+  [[nodiscard]] core::Trace witness(const ctl::Formula::Ptr& f,
+                                    const bdd::Bdd& from);
+
+  /// Check an E-fragment formula (witness when true) or an A-quantified
+  /// one, A(path) with E(!path) in the fragment (counterexample when
+  /// false), against the system's initial states.
+  [[nodiscard]] StarExplanation explain(const ctl::Formula::Ptr& f);
+
+  /// Number of fixpoint evaluations performed (the Section 9 cost remark).
+  [[nodiscard]] std::size_t fixpoint_evaluations() const {
+    return fixpoint_evaluations_;
+  }
+
+ private:
+  [[nodiscard]] std::vector<Conjunct> lower(
+      const std::vector<FormulaConjunct>& cs);
+  /// The Emerson-Lei fixpoint without the system-fairness augmentation.
+  [[nodiscard]] bdd::Bdd fixpoint(const std::vector<Conjunct>& cs);
+  [[nodiscard]] std::vector<Conjunct> augment(std::vector<Conjunct> cs) const;
+
+  core::Checker& base_;
+  core::WitnessGenerator generator_;
+  std::size_t fixpoint_evaluations_ = 0;
+};
+
+}  // namespace symcex::ctlstar

@@ -1,0 +1,545 @@
+#include "explicit/explicit_checker.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <deque>
+#include <limits>
+#include <stdexcept>
+
+namespace symcex::enumerative {
+
+namespace {
+
+StateSet make_all(std::size_t n, bool value) { return StateSet(n, value); }
+
+}  // namespace
+
+Checker::Checker(const Graph& graph)
+    : graph_(graph), pred_(graph.predecessors()) {}
+
+StateSet Checker::resolve_atom(const std::string& name) const {
+  const auto it = graph_.labels.find(name);
+  if (it == graph_.labels.end()) {
+    throw std::invalid_argument("explicit Checker: unknown atom '" + name +
+                                "'");
+  }
+  return it->second;
+}
+
+StateSet Checker::states(const ctl::Formula::Ptr& f) {
+  return eval_enf(ctl::to_existential_normal_form(f));
+}
+
+bool Checker::holds(const ctl::Formula::Ptr& f) {
+  const StateSet sat = states(f);
+  return std::all_of(graph_.init.begin(), graph_.init.end(),
+                     [&](StateId s) { return sat[s]; });
+}
+
+bool Checker::holds(const std::string& formula_text) {
+  return holds(ctl::parse(formula_text));
+}
+
+StateSet Checker::eval_enf(const ctl::Formula::Ptr& f) {
+  using ctl::Kind;
+  const std::size_t n = graph_.num_states();
+  switch (f->kind()) {
+    case Kind::kTrue:
+      return make_all(n, true);
+    case Kind::kFalse:
+      return make_all(n, false);
+    case Kind::kAtom:
+      return resolve_atom(f->name());
+    case Kind::kNot: {
+      StateSet a = eval_enf(f->lhs());
+      a.flip();
+      return a;
+    }
+    case Kind::kAnd: {
+      StateSet a = eval_enf(f->lhs());
+      const StateSet b = eval_enf(f->rhs());
+      for (std::size_t i = 0; i < n; ++i) a[i] = a[i] && b[i];
+      return a;
+    }
+    case Kind::kOr: {
+      StateSet a = eval_enf(f->lhs());
+      const StateSet b = eval_enf(f->rhs());
+      for (std::size_t i = 0; i < n; ++i) a[i] = a[i] || b[i];
+      return a;
+    }
+    case Kind::kXor: {
+      StateSet a = eval_enf(f->lhs());
+      const StateSet b = eval_enf(f->rhs());
+      for (std::size_t i = 0; i < n; ++i) a[i] = a[i] != b[i];
+      return a;
+    }
+    case Kind::kEX:
+      return ex(eval_enf(f->lhs()));
+    case Kind::kEU:
+      return eu(eval_enf(f->lhs()), eval_enf(f->rhs()));
+    case Kind::kEG:
+      return eg(eval_enf(f->lhs()));
+    default:
+      throw std::logic_error("explicit Checker: formula not in ENF");
+  }
+}
+
+StateSet Checker::ex_raw(const StateSet& f) const {
+  StateSet out = make_all(graph_.num_states(), false);
+  for (StateId u = 0; u < graph_.num_states(); ++u) {
+    for (const StateId v : graph_.succ[u]) {
+      if (f[v]) {
+        out[u] = true;
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+StateSet Checker::backward_reach(const StateSet& f,
+                                 const StateSet& target) const {
+  StateSet out = target;
+  std::deque<StateId> work;
+  for (StateId v = 0; v < graph_.num_states(); ++v) {
+    if (out[v]) work.push_back(v);
+  }
+  while (!work.empty()) {
+    const StateId v = work.front();
+    work.pop_front();
+    for (const StateId u : pred_[v]) {
+      if (!out[u] && f[u]) {
+        out[u] = true;
+        work.push_back(u);
+      }
+    }
+  }
+  return out;
+}
+
+StateSet Checker::eu_raw(const StateSet& f, const StateSet& g) const {
+  return backward_reach(f, g);
+}
+
+std::pair<std::vector<int>, int> Checker::scc_of(const StateSet& f) const {
+  // Iterative Tarjan over the subgraph induced by f.
+  const std::size_t n = graph_.num_states();
+  std::vector<int> comp(n, -1);
+  std::vector<int> index(n, -1);
+  std::vector<int> lowlink(n, 0);
+  std::vector<bool> on_stack(n, false);
+  std::vector<StateId> stack;
+  int next_index = 0;
+  int num_comps = 0;
+
+  struct Frame {
+    StateId v;
+    std::size_t child;
+  };
+  std::vector<Frame> call;
+
+  for (StateId root = 0; root < n; ++root) {
+    if (!f[root] || index[root] != -1) continue;
+    call.push_back({root, 0});
+    index[root] = lowlink[root] = next_index++;
+    stack.push_back(root);
+    on_stack[root] = true;
+    while (!call.empty()) {
+      Frame& fr = call.back();
+      const StateId v = fr.v;
+      if (fr.child < graph_.succ[v].size()) {
+        const StateId w = graph_.succ[v][fr.child++];
+        if (!f[w]) continue;
+        if (index[w] == -1) {
+          index[w] = lowlink[w] = next_index++;
+          stack.push_back(w);
+          on_stack[w] = true;
+          call.push_back({w, 0});
+        } else if (on_stack[w]) {
+          lowlink[v] = std::min(lowlink[v], index[w]);
+        }
+        continue;
+      }
+      if (lowlink[v] == index[v]) {
+        for (;;) {
+          const StateId w = stack.back();
+          stack.pop_back();
+          on_stack[w] = false;
+          comp[w] = num_comps;
+          if (w == v) break;
+        }
+        ++num_comps;
+      }
+      call.pop_back();
+      if (!call.empty()) {
+        lowlink[call.back().v] =
+            std::min(lowlink[call.back().v], lowlink[v]);
+      }
+    }
+  }
+  return {std::move(comp), num_comps};
+}
+
+StateSet Checker::eg_raw(const StateSet& f) const {
+  // Good components: nontrivial SCCs of the f-subgraph.
+  const auto [comp, num_comps] = scc_of(f);
+  const std::size_t n = graph_.num_states();
+  std::vector<int> comp_size(num_comps, 0);
+  std::vector<bool> comp_cycle(num_comps, false);
+  for (StateId v = 0; v < n; ++v) {
+    if (comp[v] < 0) continue;
+    ++comp_size[comp[v]];
+    for (const StateId w : graph_.succ[v]) {
+      if (w == v && f[w]) comp_cycle[comp[v]] = true;
+    }
+  }
+  StateSet good = make_all(n, false);
+  for (StateId v = 0; v < n; ++v) {
+    if (comp[v] >= 0 && (comp_size[comp[v]] > 1 || comp_cycle[comp[v]])) {
+      good[v] = true;
+    }
+  }
+  return backward_reach(f, good);
+}
+
+StateSet Checker::eg(const StateSet& f) const {
+  if (graph_.fairness.empty()) return eg_raw(f);
+  // Fair SCCs: nontrivial SCCs of the f-subgraph intersecting every
+  // fairness set.
+  const auto [comp, num_comps] = scc_of(f);
+  const std::size_t n = graph_.num_states();
+  std::vector<int> comp_size(num_comps, 0);
+  std::vector<bool> comp_cycle(num_comps, false);
+  std::vector<std::vector<bool>> comp_hits(
+      graph_.fairness.size(), std::vector<bool>(num_comps, false));
+  for (StateId v = 0; v < n; ++v) {
+    if (comp[v] < 0) continue;
+    ++comp_size[comp[v]];
+    for (const StateId w : graph_.succ[v]) {
+      if (w == v && f[w]) comp_cycle[comp[v]] = true;
+    }
+    for (std::size_t k = 0; k < graph_.fairness.size(); ++k) {
+      if (graph_.fairness[k][v]) comp_hits[k][comp[v]] = true;
+    }
+  }
+  StateSet good = make_all(n, false);
+  for (StateId v = 0; v < n; ++v) {
+    const int c = comp[v];
+    if (c < 0 || (comp_size[c] == 1 && !comp_cycle[c])) continue;
+    bool all = true;
+    for (std::size_t k = 0; k < graph_.fairness.size() && all; ++k) {
+      all = comp_hits[k][c];
+    }
+    if (all) good[v] = true;
+  }
+  return backward_reach(f, good);
+}
+
+const StateSet& Checker::fair_states() const {
+  if (!have_fair_) {
+    fair_ = eg(make_all(graph_.num_states(), true));
+    have_fair_ = true;
+  }
+  return fair_;
+}
+
+StateSet Checker::ex(const StateSet& f) const {
+  StateSet g = f;
+  // Match the symbolic checker: successors must start a fair path.
+  const StateSet& fair = fair_states();
+  for (std::size_t i = 0; i < g.size(); ++i) g[i] = g[i] && fair[i];
+  return ex_raw(g);
+}
+
+StateSet Checker::eu(const StateSet& f, const StateSet& g) const {
+  StateSet gg = g;
+  const StateSet& fair = fair_states();
+  for (std::size_t i = 0; i < gg.size(); ++i) gg[i] = gg[i] && fair[i];
+  return eu_raw(f, gg);
+}
+
+// ---------------------------------------------------------------------------
+// Explicit witness generation (EMC-style)
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Shortest path within `allowed` from `from` to any state of `target`
+/// (both endpoints must satisfy `allowed`); empty vector if unreachable.
+/// The path includes both endpoints; a trivial path is {from} when from
+/// is already a target.
+std::vector<StateId> bfs_path(const Graph& graph, StateId from,
+                              const StateSet& allowed,
+                              const StateSet& target) {
+  if (!allowed[from]) return {};
+  if (target[from]) return {from};
+  constexpr StateId kUnset = 0xFFFFFFFFu;
+  std::vector<StateId> parent(graph.num_states(), kUnset);
+  std::deque<StateId> work{from};
+  parent[from] = from;
+  while (!work.empty()) {
+    const StateId u = work.front();
+    work.pop_front();
+    for (const StateId v : graph.succ[u]) {
+      if (!allowed[v] || parent[v] != kUnset) continue;
+      parent[v] = u;
+      if (target[v]) {
+        std::vector<StateId> path;
+        for (StateId w = v; w != from; w = parent[w]) path.push_back(w);
+        path.push_back(from);
+        std::reverse(path.begin(), path.end());
+        return path;
+      }
+      work.push_back(v);
+    }
+  }
+  return {};
+}
+
+}  // namespace
+
+std::optional<FiniteWitness> eu_witness(const Graph& graph, StateId start,
+                                        const StateSet& f,
+                                        const StateSet& g) {
+  if (start >= graph.num_states()) return std::nullopt;
+  FiniteWitness out;
+  if (g[start]) {
+    out.prefix = {start};
+    return out;
+  }
+  if (!f[start]) return std::nullopt;
+  // BFS through f-states only; an edge into a g-state terminates (the
+  // endpoint itself need not satisfy f).
+  constexpr StateId kUnset = 0xFFFFFFFFu;
+  std::vector<StateId> parent(graph.num_states(), kUnset);
+  std::deque<StateId> work{start};
+  parent[start] = start;
+  while (!work.empty()) {
+    const StateId u = work.front();
+    work.pop_front();
+    for (const StateId v : graph.succ[u]) {
+      if (parent[v] != kUnset) continue;
+      parent[v] = u;
+      if (g[v]) {
+        std::vector<StateId> path;
+        for (StateId w = v; w != start; w = parent[w]) path.push_back(w);
+        path.push_back(start);
+        std::reverse(path.begin(), path.end());
+        out.prefix = std::move(path);
+        return out;
+      }
+      if (f[v]) work.push_back(v);
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<FiniteWitness> eg_witness(const Graph& graph, StateId start,
+                                        const StateSet& f) {
+  Checker checker(graph);
+  const StateSet eg = checker.eg(f);
+  if (start >= graph.num_states() || !eg[start]) return std::nullopt;
+
+  // Locate the fair SCCs of the f-subgraph (as in Checker::eg).
+  const auto [comp, num_comps] = checker.scc_of(f);
+  std::vector<int> comp_size(num_comps, 0);
+  std::vector<bool> comp_cycle(num_comps, false);
+  std::vector<std::vector<bool>> hits(
+      graph.fairness.size(), std::vector<bool>(num_comps, false));
+  for (StateId v = 0; v < graph.num_states(); ++v) {
+    if (comp[v] < 0) continue;
+    ++comp_size[comp[v]];
+    for (const StateId w : graph.succ[v]) {
+      if (w == v && f[w]) comp_cycle[comp[v]] = true;
+    }
+    for (std::size_t k = 0; k < graph.fairness.size(); ++k) {
+      if (graph.fairness[k][v]) hits[k][comp[v]] = true;
+    }
+  }
+  StateSet in_fair_scc(graph.num_states(), false);
+  for (StateId v = 0; v < graph.num_states(); ++v) {
+    const int c = comp[v];
+    if (c < 0 || (comp_size[c] == 1 && !comp_cycle[c])) continue;
+    bool all = true;
+    for (std::size_t k = 0; k < graph.fairness.size() && all; ++k) {
+      all = hits[k][c];
+    }
+    if (all) in_fair_scc[v] = true;
+  }
+
+  // Prefix: shortest f-path from start into a fair SCC.
+  const std::vector<StateId> prefix = bfs_path(graph, start, f, in_fair_scc);
+  if (prefix.empty()) return std::nullopt;
+  const StateId anchor = prefix.back();
+  const int scc = comp[anchor];
+
+  // Cycle: inside the SCC, hop from fairness set to fairness set, then
+  // close back to the anchor.
+  StateSet in_scc(graph.num_states(), false);
+  for (StateId v = 0; v < graph.num_states(); ++v) {
+    in_scc[v] = comp[v] == scc;
+  }
+  std::vector<StateId> cycle{anchor};
+  for (std::size_t k = 0; k < graph.fairness.size(); ++k) {
+    StateSet target(graph.num_states(), false);
+    bool already = false;
+    for (const StateId v : cycle) already = already || graph.fairness[k][v];
+    if (already) continue;
+    for (StateId v = 0; v < graph.num_states(); ++v) {
+      target[v] = in_scc[v] && graph.fairness[k][v];
+    }
+    const std::vector<StateId> hop =
+        bfs_path(graph, cycle.back(), in_scc, target);
+    cycle.insert(cycle.end(), hop.begin() + 1, hop.end());
+  }
+  // Close the cycle with a nontrivial path back to the anchor.
+  std::vector<StateId> back;
+  StateSet anchor_only(graph.num_states(), false);
+  anchor_only[anchor] = true;
+  for (const StateId v : graph.succ[cycle.back()]) {
+    if (!in_scc[v]) continue;
+    const std::vector<StateId> tail =
+        bfs_path(graph, v, in_scc, anchor_only);
+    if (!tail.empty()) {
+      back = tail;
+      break;
+    }
+  }
+  if (back.empty()) return std::nullopt;  // cannot happen in an SCC
+  cycle.insert(cycle.end(), back.begin(), back.end());
+  cycle.pop_back();  // the final anchor wraps around
+
+  FiniteWitness out;
+  out.prefix.assign(prefix.begin(), prefix.end() - 1);
+  out.cycle = std::move(cycle);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Exact minimal finite witness (Theorem 1)
+// ---------------------------------------------------------------------------
+
+std::optional<FiniteWitness> minimal_finite_witness(const Graph& graph,
+                                                    StateId start,
+                                                    const StateSet& f) {
+  const std::size_t n = graph.num_states();
+  const std::size_t num_constraints = graph.fairness.size();
+  if (num_constraints > 20) {
+    throw std::invalid_argument(
+        "minimal_finite_witness: too many fairness constraints (limit 20; "
+        "the search is exponential in their number)");
+  }
+  if (start >= n || !f[start]) return std::nullopt;
+  const std::uint32_t full_mask = (1u << num_constraints) - 1;
+  std::vector<std::uint32_t> mask(n, 0);
+  for (std::size_t k = 0; k < num_constraints; ++k) {
+    for (StateId v = 0; v < n; ++v) {
+      if (graph.fairness[k][v]) mask[v] |= 1u << k;
+    }
+  }
+
+  // Shortest f-path distances (and parents) from start.
+  constexpr std::uint32_t kInf = std::numeric_limits<std::uint32_t>::max();
+  std::vector<std::uint32_t> dist(n, kInf);
+  std::vector<StateId> parent(n, 0);
+  std::deque<StateId> work{start};
+  dist[start] = 0;
+  while (!work.empty()) {
+    const StateId u = work.front();
+    work.pop_front();
+    for (const StateId v : graph.succ[u]) {
+      if (f[v] && dist[v] == kInf) {
+        dist[v] = dist[u] + 1;
+        parent[v] = u;
+        work.push_back(v);
+      }
+    }
+  }
+
+  // Prune anchors: a cycle through c stays inside c's SCC of the
+  // f-subgraph, so the SCC must be nontrivial and cover all constraints.
+  Checker pruner(graph);
+  const auto [comp, num_comps] = pruner.scc_of(f);
+  std::vector<int> comp_size(num_comps, 0);
+  std::vector<bool> comp_cycle(num_comps, false);
+  std::vector<std::uint32_t> comp_mask(num_comps, 0);
+  for (StateId v = 0; v < n; ++v) {
+    if (comp[v] < 0) continue;
+    ++comp_size[comp[v]];
+    comp_mask[comp[v]] |= mask[v];
+    for (const StateId w : graph.succ[v]) {
+      if (w == v && f[w]) comp_cycle[comp[v]] = true;
+    }
+  }
+
+  FiniteWitness best;
+  std::size_t best_len = std::numeric_limits<std::size_t>::max();
+
+  // Per-anchor BFS over (state, visited-constraints mask).
+  const std::size_t num_masks = std::size_t{1} << num_constraints;
+  std::vector<std::uint32_t> bfs_dist(n * num_masks);
+  std::vector<std::uint32_t> bfs_parent(n * num_masks);
+  for (StateId c = 0; c < n; ++c) {
+    if (dist[c] == kInf || comp[c] < 0) continue;
+    const int cc = comp[c];
+    if ((comp_size[cc] == 1 && !comp_cycle[cc]) || comp_mask[cc] != full_mask) {
+      continue;
+    }
+    if (dist[c] + 1 >= best_len) continue;  // cycle has length >= 1
+    std::fill(bfs_dist.begin(), bfs_dist.end(), kInf);
+    auto id = [&](StateId v, std::uint32_t m) { return v * num_masks + m; };
+    std::deque<std::uint32_t> q;
+    const std::uint32_t src = id(c, mask[c]);
+    bfs_dist[src] = 0;
+    q.push_back(src);
+    // We look for an edge back to c that completes the full mask; the
+    // closing edge is detected on the predecessor so the search also finds
+    // cycles whose (c, full_mask) node coincides with the source.
+    std::uint32_t goal_pred = kInf;
+    while (!q.empty() && goal_pred == kInf) {
+      const std::uint32_t cur = q.front();
+      q.pop_front();
+      const StateId v = static_cast<StateId>(cur / num_masks);
+      const auto m = static_cast<std::uint32_t>(cur % num_masks);
+      if (bfs_dist[cur] + 1 + dist[c] >= best_len) break;  // bound
+      for (const StateId w : graph.succ[v]) {
+        if (!f[w]) continue;
+        const std::uint32_t nm = m | mask[w];
+        if (w == c && nm == full_mask) {
+          goal_pred = cur;
+          break;
+        }
+        const std::uint32_t nxt = id(w, nm);
+        if (bfs_dist[nxt] != kInf) continue;
+        bfs_dist[nxt] = bfs_dist[cur] + 1;
+        bfs_parent[nxt] = cur;
+        q.push_back(nxt);
+      }
+    }
+    if (goal_pred == kInf) continue;
+    const std::size_t cycle_len = bfs_dist[goal_pred] + 1;
+    const std::size_t total = dist[c] + cycle_len;
+    if (total >= best_len) continue;
+    best_len = total;
+    // Cycle states: c ... (predecessor of the closing edge), in order.
+    std::vector<StateId> cycle;
+    for (std::uint32_t cur = goal_pred;; cur = bfs_parent[cur]) {
+      cycle.push_back(static_cast<StateId>(cur / num_masks));
+      if (cur == src && bfs_dist[cur] == 0) break;
+    }
+    std::reverse(cycle.begin(), cycle.end());
+    // Prefix: start -> ... -> predecessor of c.
+    std::vector<StateId> prefix;
+    for (StateId v = c; v != start; v = parent[v]) prefix.push_back(v);
+    prefix.push_back(start);
+    std::reverse(prefix.begin(), prefix.end());
+    prefix.pop_back();  // drop c; the cycle starts at c
+    best.prefix = std::move(prefix);
+    best.cycle = std::move(cycle);
+  }
+
+  if (best_len == std::numeric_limits<std::size_t>::max()) return std::nullopt;
+  return best;
+}
+
+}  // namespace symcex::enumerative

@@ -1,0 +1,101 @@
+// SymCeX -- explicit-state CTL model checker (the EMC-style baseline).
+//
+// Implements the classical linear-time labelling algorithm of [5, 6] over
+// an enumerated Graph, including fairness via strongly connected
+// components: EG f under fairness holds at s iff, within the subgraph of
+// f-states, s can reach a nontrivial SCC intersecting every fairness set.
+// Serves as an oracle for the symbolic checker and as the baseline in the
+// explicit-vs-symbolic benchmarks.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ctl/formula.hpp"
+#include "explicit/explicit_graph.hpp"
+
+namespace symcex::enumerative {
+
+/// Bit-set over states of one Graph.
+using StateSet = std::vector<bool>;
+
+class Checker {
+ public:
+  explicit Checker(const Graph& graph);
+
+  /// The set of states satisfying a CTL formula (fairness-aware).
+  [[nodiscard]] StateSet states(const ctl::Formula::Ptr& f);
+  /// Does every initial state satisfy f?
+  [[nodiscard]] bool holds(const ctl::Formula::Ptr& f);
+  [[nodiscard]] bool holds(const std::string& formula_text);
+
+  // -- primitives (fairness-aware like the symbolic ones) -------------------
+  [[nodiscard]] StateSet ex(const StateSet& f) const;
+  [[nodiscard]] StateSet eu(const StateSet& f, const StateSet& g) const;
+  [[nodiscard]] StateSet eg(const StateSet& f) const;
+  /// States at the start of some fair (infinite) path.  Cached.
+  [[nodiscard]] const StateSet& fair_states() const;
+
+  // -- raw variants (ignore fairness; plain CTL over infinite paths) --------
+  [[nodiscard]] StateSet ex_raw(const StateSet& f) const;
+  [[nodiscard]] StateSet eu_raw(const StateSet& f, const StateSet& g) const;
+  [[nodiscard]] StateSet eg_raw(const StateSet& f) const;
+
+  /// SCC decomposition of the subgraph induced by `f` (Tarjan, iterative).
+  /// Returns component id per state (-1 outside f) and the component count.
+  [[nodiscard]] std::pair<std::vector<int>, int> scc_of(const StateSet& f) const;
+
+  [[nodiscard]] const Graph& graph() const { return graph_; }
+
+ private:
+  [[nodiscard]] StateSet resolve_atom(const std::string& name) const;
+  [[nodiscard]] StateSet eval_enf(const ctl::Formula::Ptr& f);
+  /// Backward closure: states reaching `target` via f-states
+  /// (f holding along the way, target included).
+  [[nodiscard]] StateSet backward_reach(const StateSet& f,
+                                        const StateSet& target) const;
+
+  const Graph& graph_;
+  std::vector<std::vector<StateId>> pred_;
+  mutable StateSet fair_;
+  mutable bool have_fair_ = false;
+};
+
+/// An explicit finite witness: prefix + cycle of StateIds.
+struct FiniteWitness {
+  std::vector<StateId> prefix;
+  std::vector<StateId> cycle;
+  [[nodiscard]] std::size_t length() const {
+    return prefix.size() + cycle.size();
+  }
+};
+
+/// Explicit-graph witness generation (the EMC-style counterpart of the
+/// paper's Section 6 machinery): shortest f-path to a g-state, and fair
+/// EG lassos built from a fair SCC.  Free functions over a Graph.
+///
+/// eu_witness: shortest path from `start` to a g-state through f-states
+/// (including start); nullopt if none exists.
+[[nodiscard]] std::optional<FiniteWitness> eu_witness(const Graph& graph,
+                                                      StateId start,
+                                                      const StateSet& f,
+                                                      const StateSet& g);
+
+/// eg_witness: a lasso from `start` whose states all satisfy f and whose
+/// cycle visits every fairness set of the graph; nullopt if start does
+/// not satisfy EG f under fairness.
+[[nodiscard]] std::optional<FiniteWitness> eg_witness(const Graph& graph,
+                                                      StateId start,
+                                                      const StateSet& f);
+
+/// Exact minimal finite witness for "EG f under the graph's fairness
+/// constraints" starting at `start` (Theorem 1 of the paper: NP-complete;
+/// this search is exponential in the number of fairness constraints but
+/// polynomial in the number of states).  All witness states satisfy `f`,
+/// the cycle visits every fairness set, and |prefix| + |cycle| is minimal.
+/// Returns std::nullopt if no finite witness exists from `start`.
+[[nodiscard]] std::optional<FiniteWitness> minimal_finite_witness(
+    const Graph& graph, StateId start, const StateSet& f);
+
+}  // namespace symcex::enumerative

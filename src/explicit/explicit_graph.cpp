@@ -1,0 +1,78 @@
+#include "explicit/explicit_graph.hpp"
+
+#include <deque>
+#include <map>
+#include <stdexcept>
+
+namespace symcex::enumerative {
+
+std::vector<std::vector<StateId>> Graph::predecessors() const {
+  std::vector<std::vector<StateId>> pred(succ.size());
+  for (StateId u = 0; u < succ.size(); ++u) {
+    for (const StateId v : succ[u]) pred[v].push_back(u);
+  }
+  return pred;
+}
+
+Enumerated enumerate(const ts::TransitionSystem& ts, std::size_t max_states) {
+  if (!ts.finalized()) {
+    throw std::invalid_argument("enumerate: transition system not finalized");
+  }
+  Enumerated out;
+  // Map by BDD node identity (one manager, minterms are canonical).
+  std::map<bdd::Bdd, StateId> ids;
+
+  auto intern = [&](const bdd::Bdd& state) {
+    const auto it = ids.find(state);
+    if (it != ids.end()) return it->second;
+    if (out.concrete.size() >= max_states) {
+      throw std::length_error(
+          "enumerate: state explosion -- more than " +
+          std::to_string(max_states) + " reachable states");
+    }
+    const StateId id = out.graph.add_state();
+    out.concrete.push_back(state);
+    ids.emplace(state, id);
+    return id;
+  };
+
+  std::deque<StateId> queue;
+  bdd::Bdd init_left = ts.init();
+  while (!init_left.is_false()) {
+    const bdd::Bdd s = ts.pick_state(init_left);
+    init_left -= s;
+    const StateId id = intern(s);
+    out.graph.init.push_back(id);
+    queue.push_back(id);
+  }
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    const StateId u = queue[head];
+    bdd::Bdd img = ts.image(out.concrete[u]);
+    while (!img.is_false()) {
+      const bdd::Bdd t = ts.pick_state(img);
+      img -= t;
+      const bool known = ids.count(t) != 0;
+      const StateId v = intern(t);
+      out.graph.add_edge(u, v);
+      if (!known) queue.push_back(v);
+    }
+  }
+
+  for (const auto& [name, set] : ts.labels()) {
+    std::vector<bool> bits(out.graph.num_states());
+    for (StateId i = 0; i < bits.size(); ++i) {
+      bits[i] = out.concrete[i].intersects(set);
+    }
+    out.graph.labels.emplace(name, std::move(bits));
+  }
+  for (const auto& h : ts.fairness()) {
+    std::vector<bool> bits(out.graph.num_states());
+    for (StateId i = 0; i < bits.size(); ++i) {
+      bits[i] = out.concrete[i].intersects(h);
+    }
+    out.graph.fairness.push_back(std::move(bits));
+  }
+  return out;
+}
+
+}  // namespace symcex::enumerative

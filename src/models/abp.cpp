@@ -1,0 +1,108 @@
+#include <memory>
+
+#include "models/models.hpp"
+#include "ts/field.hpp"
+
+namespace symcex::models {
+
+namespace {
+
+// Channel contents.
+constexpr std::uint32_t kEmpty = 0;
+constexpr std::uint32_t kBit0 = 1;
+constexpr std::uint32_t kBit1 = 2;
+
+// Actions (recorded each step for fairness and labelling).
+constexpr std::uint32_t kSend = 0;
+constexpr std::uint32_t kLoseMsg = 1;
+constexpr std::uint32_t kRecv = 2;
+constexpr std::uint32_t kLoseAck = 3;
+constexpr std::uint32_t kGetAck = 4;
+
+}  // namespace
+
+std::unique_ptr<ts::TransitionSystem> abp(const AbpOptions& options) {
+  auto m = std::make_unique<ts::TransitionSystem>();
+  const ts::VarId s_bit = m->add_var("s_bit");   // bit being transmitted
+  const ts::VarId r_exp = m->add_var("r_exp");   // bit the receiver expects
+  const ts::VarId acc = m->add_var("accept");    // fresh data just accepted
+  ts::Field msg(*m, "msg", 3);
+  ts::Field ack(*m, "ack", 3);
+  ts::Field act(*m, "act", 5);
+
+  m->set_init(!m->cur(s_bit) & !m->cur(r_exp) & !m->cur(acc) &
+              msg.eq(kEmpty) & ack.eq(kEmpty) & act.eq(kSend));
+
+  auto hold = [&](ts::VarId v) { return !(m->next(v) ^ m->cur(v)); };
+  const bdd::Bdd msg_of_sbit =        // msg' carries the sender's bit
+      (!m->cur(s_bit) & msg.eq(kBit0, true)) |
+      (m->cur(s_bit) & msg.eq(kBit1, true));
+
+  bdd::Bdd trans = m->manager().zero();
+
+  // SEND: the sender (re)transmits its current bit; always enabled.
+  trans |= act.eq(kSend, true) & msg_of_sbit & ack.unchanged() &
+           hold(s_bit) & hold(r_exp) & !m->next(acc);
+
+  // LOSE-MSG: the message channel drops its content.
+  trans |= act.eq(kLoseMsg, true) & !msg.eq(kEmpty) & msg.eq(kEmpty, true) &
+           ack.unchanged() & hold(s_bit) & hold(r_exp) & !m->next(acc);
+
+  // RECV: the receiver consumes the message.  A fresh message (bit ==
+  // expected) is accepted (accept' high, expectation flips); a duplicate
+  // is dropped.  Either way the received bit is (re-)acknowledged,
+  // overwriting the ack channel.
+  {
+    const bdd::Bdd got0 = msg.eq(kBit0);
+    const bdd::Bdd got1 = msg.eq(kBit1);
+    const bdd::Bdd bit_matches =
+        (got0 & !m->cur(r_exp)) | (got1 & m->cur(r_exp));
+    const bdd::Bdd ack_back =
+        (got0 & ack.eq(kBit0, true)) | (got1 & ack.eq(kBit1, true));
+    const bdd::Bdd fresh = bit_matches & (m->next(r_exp) ^ m->cur(r_exp)) &
+                           m->next(acc);
+    const bdd::Bdd dup = !bit_matches & hold(r_exp) & !m->next(acc);
+    trans |= act.eq(kRecv, true) & !msg.eq(kEmpty) & msg.eq(kEmpty, true) &
+             ack_back & hold(s_bit) & (fresh | dup);
+  }
+
+  // LOSE-ACK: the ack channel drops its content.
+  trans |= act.eq(kLoseAck, true) & !ack.eq(kEmpty) & ack.eq(kEmpty, true) &
+           msg.unchanged() & hold(s_bit) & hold(r_exp) & !m->next(acc);
+
+  // GET-ACK: the sender consumes an ack; an ack for the current bit
+  // completes the transfer and the sender moves to the next bit.
+  {
+    const bdd::Bdd ack0 = ack.eq(kBit0);
+    const bdd::Bdd ack1 = ack.eq(kBit1);
+    const bdd::Bdd matches = (ack0 & !m->cur(s_bit)) | (ack1 & m->cur(s_bit));
+    const bdd::Bdd advance = matches & (m->next(s_bit) ^ m->cur(s_bit));
+    const bdd::Bdd stale = !matches & hold(s_bit);
+    trans |= act.eq(kGetAck, true) & !ack.eq(kEmpty) & ack.eq(kEmpty, true) &
+             msg.unchanged() & hold(r_exp) & !m->next(acc) &
+             (advance | stale);
+  }
+
+  m->add_trans(trans);
+
+  if (options.fair_channels) {
+    // The channels cannot lose everything forever: delivery and ack
+    // consumption happen infinitely often on fair paths.
+    m->add_fairness(act.eq(kRecv));
+    m->add_fairness(act.eq(kGetAck));
+  }
+
+  m->add_label("accept", m->cur(acc));
+  m->add_label("msg_empty", msg.eq(kEmpty));
+  m->add_label("ack_empty", ack.eq(kEmpty));
+  m->add_label("sending0", !m->cur(s_bit));
+  m->add_label("sending1", m->cur(s_bit));
+  m->add_label("act_send", act.eq(kSend));
+  m->add_label("act_recv", act.eq(kRecv));
+  m->add_label("act_getack", act.eq(kGetAck));
+  m->add_label("act_lose", act.eq(kLoseMsg) | act.eq(kLoseAck));
+  m->finalize();
+  return m;
+}
+
+}  // namespace symcex::models

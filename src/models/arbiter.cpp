@@ -1,0 +1,123 @@
+#include <memory>
+
+#include "models/models.hpp"
+
+namespace symcex::models {
+
+namespace {
+
+/// Speed-independent gate: the output variable may hold its value or move
+/// to the combinational target, and fairness demands it is stable (equal
+/// to its target) infinitely often -- i.e. no gate lags forever.
+void gate(ts::TransitionSystem& m, ts::VarId out, const bdd::Bdd& target) {
+  const bdd::Bdd hold = !(m.next(out) ^ m.cur(out));
+  const bdd::Bdd fire = !(m.next(out) ^ target);
+  m.add_trans(hold | fire);
+  m.add_fairness(!(m.cur(out) ^ target));
+}
+
+/// Four-phase handshake environment: the user may flip its request only
+/// when request and acknowledge agree (raise when both low, drop when both
+/// high), and may also always hold.  The fairness constraint says the user
+/// does not camp on the resource -- infinitely often it is not in the
+/// "granted and still requesting" phase, so acquisitions complete.
+/// (Without it even a fair arbiter cannot guarantee liveness: the
+/// environment could hold the grant forever.)
+void user(ts::TransitionSystem& m, ts::VarId req, ts::VarId ack) {
+  const bdd::Bdd hold = !(m.next(req) ^ m.cur(req));
+  const bdd::Bdd flip =
+      !(m.cur(req) ^ m.cur(ack)) & (m.next(req) ^ m.cur(req));
+  m.add_trans(hold | flip);
+  m.add_fairness(!(m.cur(req) & m.cur(ack)));
+}
+
+}  // namespace
+
+std::unique_ptr<ts::TransitionSystem> seitz_arbiter(
+    const ArbiterOptions& options) {
+  auto m = std::make_unique<ts::TransitionSystem>();
+
+  const ts::VarId r1 = m->add_var("r1");
+  const ts::VarId r2 = m->add_var("r2");
+  const ts::VarId g1 = m->add_var("g1");
+  const ts::VarId g2 = m->add_var("g2");
+  ts::VarId sr = 0;
+  ts::VarId sa = 0;
+  if (options.with_server) {
+    sr = m->add_var("sr");
+    sa = m->add_var("sa");
+  }
+  const ts::VarId a1 = m->add_var("a1");
+  const ts::VarId a2 = m->add_var("a2");
+  ts::VarId last1 = 0;
+  if (options.fair_me) last1 = m->add_var("last1");
+
+  // All signals low initially (the quiescent state).
+  bdd::Bdd init = m->manager().one();
+  for (ts::VarId v = 0; v < m->num_state_vars(); ++v) init &= !m->cur(v);
+  m->set_init(init);
+
+  // Users.
+  user(*m, r1, a1);
+  user(*m, r2, a2);
+
+  // ME element: two sticky grant outputs with built-in mutual exclusion.
+  // A grant, once given, is held until its request falls (the four-phase
+  // discipline); a free grant may rise when the side requests, the other
+  // grant is low, and the side has priority.
+  const bdd::Bdd sticky1 = m->cur(g1) & m->cur(r1);
+  const bdd::Bdd sticky2 = m->cur(g2) & m->cur(r2);
+  bdd::Bdd prio1;
+  bdd::Bdd prio2;
+  if (!options.fair_me) {
+    // Fixed priority: side 2 wins whenever it requests.  This is the bug:
+    // user 1 can starve behind a recycling user 2.
+    prio1 = !m->cur(r2);
+    prio2 = m->manager().one();
+  } else {
+    // Alternating priority: the side granted most recently yields.
+    prio1 = !m->cur(r2) | !m->cur(last1);
+    prio2 = !m->cur(r1) | m->cur(last1);
+  }
+  const bdd::Bdd g1_target =
+      sticky1 | (m->cur(r1) & !m->cur(g2) & !m->cur(g1) & prio1);
+  const bdd::Bdd g2_target =
+      sticky2 | (m->cur(r2) & !m->cur(g1) & !m->cur(g2) & prio2);
+  gate(*m, g1, g1_target);
+  gate(*m, g2, g2_target);
+  // The ME element never raises both grants together.
+  m->add_trans(!(m->next(g1) & m->next(g2)));
+
+  if (options.fair_me) {
+    // last1 records which side's grant rose most recently.
+    const bdd::Bdd rise1 = !m->cur(g1) & m->next(g1);
+    const bdd::Bdd rise2 = !m->cur(g2) & m->next(g2);
+    const bdd::Bdd hold = !(m->next(last1) ^ m->cur(last1));
+    m->add_trans((rise1 & m->next(last1)) | (rise2 & !m->next(last1)) |
+                 (!rise1 & !rise2 & hold));
+  }
+
+  // Acknowledge path.
+  if (options.with_server) {
+    // OR gate into a shared server, then per-side AND gates.
+    gate(*m, sr, m->cur(g1) | m->cur(g2));
+    gate(*m, sa, m->cur(sr));
+    gate(*m, a1, m->cur(g1) & m->cur(sa));
+    gate(*m, a2, m->cur(g2) & m->cur(sa));
+  } else {
+    gate(*m, a1, m->cur(g1));
+    gate(*m, a2, m->cur(g2));
+  }
+
+  for (const char* name : {"r1", "r2", "g1", "g2", "a1", "a2"}) {
+    m->add_label(name, m->cur(*m->find_var(name)));
+  }
+  if (options.with_server) {
+    m->add_label("sr", m->cur(sr));
+    m->add_label("sa", m->cur(sa));
+  }
+  m->finalize();
+  return m;
+}
+
+}  // namespace symcex::models

@@ -1,0 +1,47 @@
+#include <memory>
+
+#include "models/models.hpp"
+#include "ts/field.hpp"
+
+namespace symcex::models {
+
+std::unique_ptr<ts::TransitionSystem> scc_chain(const SccChainOptions& options) {
+  const std::uint32_t m_len = options.chain_len;
+  const std::uint32_t c_len = options.cycle_len;
+  if (c_len < 1) {
+    throw std::invalid_argument("scc_chain: cycle_len must be >= 1");
+  }
+  const std::uint32_t total = m_len + c_len;
+  auto ts = std::make_unique<ts::TransitionSystem>();
+  ts::Field v(*ts, "v", total < 2 ? 2 : total);
+
+  ts->set_init(v.eq(options.start_in_cycle ? m_len : 0));
+
+  // Chain 0 -> 1 -> ... -> m_len-1 -> m_len, then the terminal cycle
+  // m_len -> ... -> total-1 -> m_len.  Every state has exactly one
+  // successor; the only nontrivial SCC is the terminal cycle, so the
+  // EG-true witness construction must descend the whole chain via
+  // restarts when it starts at the head (Figure 2), and closes on the
+  // first attempt when it starts inside the cycle (Figure 1).
+  bdd::Bdd trans = ts->manager().zero();
+  for (std::uint32_t i = 0; i + 1 < total; ++i) {
+    trans |= v.eq(i, false) & v.eq(i + 1, true);
+  }
+  trans |= v.eq(total - 1, false) & v.eq(m_len, true);
+  ts->add_trans(trans);
+
+  if (options.fairness_in_cycle) {
+    // Mark one cycle state; the onion rings then lead straight to it.
+    ts->add_fairness(v.eq(m_len + c_len / 2));
+  }
+
+  ts->add_label("head", v.eq(0));
+  bdd::Bdd in_cycle = ts->manager().zero();
+  for (std::uint32_t i = m_len; i < total; ++i) in_cycle |= v.eq(i);
+  ts->add_label("in_cycle", in_cycle);
+  ts->add_label("mark", v.eq(m_len + c_len / 2));
+  ts->finalize();
+  return ts;
+}
+
+}  // namespace symcex::models

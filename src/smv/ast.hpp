@@ -1,0 +1,133 @@
+// SymCeX -- internal AST for the mini-SMV language (see smv.hpp).
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "smv/smv.hpp"
+
+namespace symcex::smv::detail {
+
+enum class EK {
+  // leaves
+  kInt,
+  kTrue,
+  kFalse,
+  kIdent,
+  kNext,  // next(sub-expression), one child
+  // unary
+  kNeg,
+  kNot,
+  // binary boolean
+  kAnd,
+  kOr,
+  kXor,
+  kImplies,
+  kIff,
+  // binary comparison
+  kEq,
+  kNe,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  // binary arithmetic
+  kAdd,
+  kSub,
+  kMul,
+  kDiv,
+  kMod,
+  // composite
+  kSet,   // children = members
+  kCase,  // children = cond0, val0, cond1, val1, ...
+  // temporal (SPEC context only)
+  kEX,
+  kEF,
+  kEG,
+  kAX,
+  kAF,
+  kAG,
+  kEU,
+  kAU,
+};
+
+struct Expr;
+using ExprP = std::shared_ptr<const Expr>;
+
+struct Expr {
+  EK kind;
+  std::int64_t ival = 0;
+  std::string name;
+  std::vector<ExprP> kids;
+  std::size_t line = 0;
+
+  static ExprP make(EK k, std::size_t line, std::vector<ExprP> kids = {}) {
+    auto e = std::make_shared<Expr>();
+    e->kind = k;
+    e->line = line;
+    e->kids = std::move(kids);
+    return e;
+  }
+};
+
+struct VarDecl {
+  enum class Type { kBoolean, kDomain, kInstance };
+  std::string name;
+  Type type = Type::kBoolean;
+  std::vector<SmvValue> domain;   // for kDomain (enum or range)
+  std::string module;             // for kInstance
+  std::vector<ExprP> arguments;   // for kInstance
+  std::size_t line = 0;
+};
+
+struct Assign {
+  enum class Kind {
+    kInit,     // init(v) := e
+    kNext,     // next(v) := e
+    kCurrent,  // v := e  (combinational: v equals e in every state)
+  };
+  Kind kind;
+  std::string var;
+  ExprP rhs;
+  std::size_t line = 0;
+};
+
+struct Define {
+  std::string name;
+  ExprP rhs;
+  std::size_t line = 0;
+};
+
+/// One MODULE's body.
+struct Module {
+  std::string name;
+  std::vector<std::string> params;
+  std::size_t line = 0;
+  std::vector<VarDecl> vars;
+  std::vector<Assign> assigns;
+  std::vector<Define> defines;
+  std::vector<ExprP> trans;
+  std::vector<ExprP> init;
+  std::vector<ExprP> invar;
+  std::vector<ExprP> fairness;
+  std::vector<ExprP> specs;
+  std::vector<std::string> spec_texts;
+};
+
+struct Program {
+  std::vector<Module> modules;  // "main" must be among them
+};
+
+/// Parse SMV source into a Program (syntax only).  Throws SmvError.
+[[nodiscard]] Program parse_program(const std::string& source);
+
+/// Inline every module instance into one flat module (names prefixed with
+/// the instance path, parameters substituted by their argument
+/// expressions).  Throws SmvError on unknown modules, arity mismatches or
+/// cyclic instantiation.
+[[nodiscard]] Module flatten_program(const Program& program);
+
+}  // namespace symcex::smv::detail

@@ -1,0 +1,169 @@
+// Module-hierarchy flattening: inline every instance declaration into one
+// flat module, prefixing local symbols with the instance path ("arb.g1")
+// and substituting module parameters by their (already rewritten)
+// argument expressions -- the classic SMV elaboration step.
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "smv/ast.hpp"
+
+namespace symcex::smv::detail {
+
+namespace {
+
+class Flattener {
+ public:
+  explicit Flattener(const Program& prog) : prog_(prog) {}
+
+  Module run() {
+    const Module& main = find("main", 1);
+    if (!main.params.empty()) {
+      throw SmvError("MODULE main must not take parameters", main.line);
+    }
+    out_.name = "main";
+    std::vector<std::string> stack;
+    inline_module(main, "", {}, stack);
+    return std::move(out_);
+  }
+
+ private:
+  const Module& find(const std::string& name, std::size_t line) const {
+    for (const auto& m : prog_.modules) {
+      if (m.name == name) return m;
+    }
+    throw SmvError("unknown MODULE '" + name + "'", line);
+  }
+
+  static std::set<std::string> locals_of(const Module& m) {
+    std::set<std::string> out;
+    for (const auto& v : m.vars) out.insert(v.name);
+    for (const auto& d : m.defines) out.insert(d.name);
+    return out;
+  }
+
+  /// Rewrite an expression from a module's local namespace into the flat
+  /// namespace: parameters substitute to their argument expressions,
+  /// local symbols (including instance components "inst.x") gain the
+  /// instance prefix, anything else (enum literals) passes through.
+  ExprP rewrite(const ExprP& e, const std::map<std::string, ExprP>& subst,
+                const std::string& prefix,
+                const std::set<std::string>& locals) {
+    if (e->kind == EK::kIdent) {
+      const std::size_t dot = e->name.find('.');
+      const std::string head =
+          dot == std::string::npos ? e->name : e->name.substr(0, dot);
+      if (const auto it = subst.find(head); it != subst.end()) {
+        if (dot == std::string::npos) return it->second;
+        // formal.component: the argument must itself be a name.
+        if (it->second->kind != EK::kIdent) {
+          throw SmvError("cannot select component '" +
+                             e->name.substr(dot + 1) +
+                             "' from a non-name argument",
+                         e->line);
+        }
+        auto node = Expr::make(EK::kIdent, e->line);
+        const_cast<Expr&>(*node).name =
+            it->second->name + e->name.substr(dot);
+        return node;
+      }
+      if (locals.count(head) != 0) {
+        auto node = Expr::make(EK::kIdent, e->line);
+        const_cast<Expr&>(*node).name = prefix + e->name;
+        return node;
+      }
+      return e;  // enum literal or error reported during elaboration
+    }
+    if (e->kids.empty()) return e;
+    std::vector<ExprP> kids;
+    kids.reserve(e->kids.size());
+    bool changed = false;
+    for (const auto& k : e->kids) {
+      kids.push_back(rewrite(k, subst, prefix, locals));
+      changed = changed || kids.back() != k;
+    }
+    if (!changed) return e;
+    auto node = Expr::make(e->kind, e->line, std::move(kids));
+    const_cast<Expr&>(*node).ival = e->ival;
+    const_cast<Expr&>(*node).name = e->name;
+    return node;
+  }
+
+  void inline_module(const Module& m, const std::string& prefix,
+                     const std::map<std::string, ExprP>& subst,
+                     std::vector<std::string>& stack) {
+    for (const auto& frame : stack) {
+      if (frame == m.name) {
+        throw SmvError("cyclic module instantiation through '" + m.name + "'",
+                       m.line);
+      }
+    }
+    stack.push_back(m.name);
+    const std::set<std::string> locals = locals_of(m);
+
+    for (const auto& v : m.vars) {
+      if (v.type == VarDecl::Type::kInstance) {
+        const Module& child = find(v.module, v.line);
+        if (child.params.size() != v.arguments.size()) {
+          throw SmvError("module '" + v.module + "' expects " +
+                             std::to_string(child.params.size()) +
+                             " argument(s), got " +
+                             std::to_string(v.arguments.size()),
+                         v.line);
+        }
+        std::map<std::string, ExprP> child_subst;
+        for (std::size_t i = 0; i < child.params.size(); ++i) {
+          child_subst[child.params[i]] =
+              rewrite(v.arguments[i], subst, prefix, locals);
+        }
+        inline_module(child, prefix + v.name + ".", child_subst, stack);
+      } else {
+        VarDecl flat = v;
+        flat.name = prefix + v.name;
+        out_.vars.push_back(std::move(flat));
+      }
+    }
+    for (const auto& a : m.assigns) {
+      Assign flat = a;
+      flat.var = prefix + a.var;
+      flat.rhs = rewrite(a.rhs, subst, prefix, locals);
+      out_.assigns.push_back(std::move(flat));
+    }
+    for (const auto& d : m.defines) {
+      Define flat = d;
+      flat.name = prefix + d.name;
+      flat.rhs = rewrite(d.rhs, subst, prefix, locals);
+      out_.defines.push_back(std::move(flat));
+    }
+    for (const auto& e : m.trans) {
+      out_.trans.push_back(rewrite(e, subst, prefix, locals));
+    }
+    for (const auto& e : m.init) {
+      out_.init.push_back(rewrite(e, subst, prefix, locals));
+    }
+    for (const auto& e : m.invar) {
+      out_.invar.push_back(rewrite(e, subst, prefix, locals));
+    }
+    for (const auto& e : m.fairness) {
+      out_.fairness.push_back(rewrite(e, subst, prefix, locals));
+    }
+    for (std::size_t i = 0; i < m.specs.size(); ++i) {
+      out_.specs.push_back(rewrite(m.specs[i], subst, prefix, locals));
+      out_.spec_texts.push_back(
+          prefix.empty() ? m.spec_texts[i] : prefix + " " + m.spec_texts[i]);
+    }
+    stack.pop_back();
+  }
+
+  const Program& prog_;
+  Module out_;
+};
+
+}  // namespace
+
+Module flatten_program(const Program& program) {
+  return Flattener(program).run();
+}
+
+}  // namespace symcex::smv::detail

@@ -1,0 +1,736 @@
+// Lexer and recursive-descent parser for the mini-SMV language.
+
+#include <cctype>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "smv/ast.hpp"
+
+namespace symcex::smv::detail {
+
+namespace {
+
+enum class T {
+  kEnd,
+  kIdent,
+  kInt,
+  // keywords
+  kModule,
+  kVar,
+  kAssign,
+  kDefine,
+  kTrans,
+  kInit,
+  kInvar,
+  kFairness,
+  kSpec,
+  kInitFn,  // "init" used as init(x)
+  kNextFn,  // "next"
+  kCase,
+  kEsac,
+  kBoolean,
+  kTrue,
+  kFalse,
+  kXorWord,
+  kModWord,
+  kUnion,
+  kEXk,
+  kEFk,
+  kEGk,
+  kAXk,
+  kAFk,
+  kAGk,
+  kEk,
+  kAk,
+  // punctuation
+  kColon,
+  kSemi,
+  kComma,
+  kAssignOp,  // :=
+  kLParen,
+  kRParen,
+  kLBrace,
+  kRBrace,
+  kLBracket,
+  kRBracket,
+  kDotDot,
+  kNot,
+  kAnd,
+  kOr,
+  kImplies,
+  kIff,
+  kEq,
+  kNe,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kPlus,
+  kMinus,
+  kStar,
+  kSlash,
+  kUk,  // U inside E[ .. U .. ]
+};
+
+struct Token {
+  T kind;
+  std::string text;
+  std::int64_t ival = 0;
+  std::size_t line = 1;
+  std::size_t offset = 0;  // byte offset of the token start
+};
+
+const std::unordered_map<std::string, T>& keywords() {
+  static const std::unordered_map<std::string, T> kw = {
+      {"MODULE", T::kModule},     {"VAR", T::kVar},
+      {"ASSIGN", T::kAssign},     {"DEFINE", T::kDefine},
+      {"TRANS", T::kTrans},       {"INIT", T::kInit},
+      {"INVAR", T::kInvar},       {"FAIRNESS", T::kFairness},
+      {"JUSTICE", T::kFairness},  {"SPEC", T::kSpec},
+      {"CTLSPEC", T::kSpec},      {"init", T::kInitFn},
+      {"next", T::kNextFn},       {"case", T::kCase},
+      {"esac", T::kEsac},         {"boolean", T::kBoolean},
+      {"TRUE", T::kTrue},         {"FALSE", T::kFalse},
+      {"xor", T::kXorWord},       {"mod", T::kModWord},
+      {"union", T::kUnion},       {"EX", T::kEXk},
+      {"EF", T::kEFk},            {"EG", T::kEGk},
+      {"AX", T::kAXk},            {"AF", T::kAFk},
+      {"AG", T::kAGk},            {"E", T::kEk},
+      {"A", T::kAk},              {"U", T::kUk},
+  };
+  return kw;
+}
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& text) : text_(text) { advance(); }
+
+  [[nodiscard]] const Token& peek() const { return cur_; }
+  Token take() {
+    Token t = cur_;
+    advance();
+    return t;
+  }
+
+ private:
+  void advance() {
+    for (;;) {
+      while (pos_ < text_.size() &&
+             std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+        if (text_[pos_] == '\n') ++line_;
+        ++pos_;
+      }
+      if (pos_ + 1 < text_.size() && text_[pos_] == '-' &&
+          text_[pos_ + 1] == '-') {
+        while (pos_ < text_.size() && text_[pos_] != '\n') ++pos_;
+        continue;
+      }
+      break;
+    }
+    const std::size_t start = pos_;
+    cur_ = Token{T::kEnd, "", 0, line_, start};
+    if (pos_ >= text_.size()) return;
+    const char c = text_[pos_];
+    auto two = [&](char second) {
+      return pos_ + 1 < text_.size() && text_[pos_ + 1] == second;
+    };
+    auto punct = [&](T k, std::size_t len) {
+      cur_ = Token{k, text_.substr(start, len), 0, line_, start};
+      pos_ += len;
+    };
+    switch (c) {
+      case ':':
+        return two('=') ? punct(T::kAssignOp, 2) : punct(T::kColon, 1);
+      case ';':
+        return punct(T::kSemi, 1);
+      case ',':
+        return punct(T::kComma, 1);
+      case '(':
+        return punct(T::kLParen, 1);
+      case ')':
+        return punct(T::kRParen, 1);
+      case '{':
+        return punct(T::kLBrace, 1);
+      case '}':
+        return punct(T::kRBrace, 1);
+      case '[':
+        return punct(T::kLBracket, 1);
+      case ']':
+        return punct(T::kRBracket, 1);
+      case '.':
+        if (two('.')) return punct(T::kDotDot, 2);
+        throw SmvError("unexpected '.'", line_);
+      case '!':
+        return two('=') ? punct(T::kNe, 2) : punct(T::kNot, 1);
+      case '&':
+        return punct(T::kAnd, 1);
+      case '|':
+        return punct(T::kOr, 1);
+      case '-':
+        if (two('>')) return punct(T::kImplies, 2);
+        return punct(T::kMinus, 1);
+      case '<':
+        if (two('-') && pos_ + 2 < text_.size() && text_[pos_ + 2] == '>') {
+          return punct(T::kIff, 3);
+        }
+        return two('=') ? punct(T::kLe, 2) : punct(T::kLt, 1);
+      case '>':
+        return two('=') ? punct(T::kGe, 2) : punct(T::kGt, 1);
+      case '=':
+        return punct(T::kEq, 1);
+      case '+':
+        return punct(T::kPlus, 1);
+      case '*':
+        return punct(T::kStar, 1);
+      case '/':
+        return punct(T::kSlash, 1);
+      default:
+        break;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::size_t end = pos_;
+      while (end < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[end]))) {
+        ++end;
+      }
+      const std::string digits = text_.substr(pos_, end - pos_);
+      pos_ = end;
+      cur_ = Token{T::kInt, digits, std::stoll(digits), line_, start};
+      return;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::size_t end = pos_;
+      while (end < text_.size() &&
+             (std::isalnum(static_cast<unsigned char>(text_[end])) ||
+              text_[end] == '_' || text_[end] == '.')) {
+        ++end;
+      }
+      std::string word = text_.substr(pos_, end - pos_);
+      pos_ = end;
+      const auto it = keywords().find(word);
+      cur_ = Token{it != keywords().end() ? it->second : T::kIdent,
+                   std::move(word), 0, line_, start};
+      return;
+    }
+    throw SmvError(std::string("unexpected character '") + c + "'", line_);
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+  std::size_t line_ = 1;
+  Token cur_;
+};
+
+class Parser {
+ public:
+  explicit Parser(const std::string& source) : src_(source), lex_(source) {}
+
+  Program parse() {
+    while (lex_.peek().kind != T::kEnd) {
+      expect(T::kModule, "MODULE");
+      parse_module();
+    }
+    if (prog_.modules.empty()) {
+      throw SmvError("no MODULE declared", 1);
+    }
+    return prog_;
+  }
+
+ private:
+  void parse_module() {
+    Module mod;
+    const Token name = expect(T::kIdent, "module name");
+    mod.name = name.text;
+    mod.line = name.line;
+    for (const auto& existing : prog_.modules) {
+      if (existing.name == mod.name) {
+        throw SmvError("duplicate MODULE '" + mod.name + "'", name.line);
+      }
+    }
+    if (lex_.peek().kind == T::kLParen) {
+      lex_.take();
+      if (lex_.peek().kind != T::kRParen) {
+        for (;;) {
+          mod.params.push_back(expect(T::kIdent, "parameter name").text);
+          const Token sep = lex_.take();
+          if (sep.kind == T::kRParen) break;
+          if (sep.kind != T::kComma) {
+            throw SmvError("expected ',' or ')' in parameter list",
+                           sep.line);
+          }
+        }
+      } else {
+        lex_.take();
+      }
+    }
+    cur_ = &mod;
+    while (lex_.peek().kind != T::kEnd && lex_.peek().kind != T::kModule) {
+      const Token section = lex_.take();
+      switch (section.kind) {
+        case T::kVar:
+          parse_var_section();
+          break;
+        case T::kAssign:
+          parse_assign_section();
+          break;
+        case T::kDefine:
+          parse_define_section();
+          break;
+        case T::kTrans:
+          cur_->trans.push_back(section_expr());
+          break;
+        case T::kInit:
+          cur_->init.push_back(section_expr());
+          break;
+        case T::kInvar:
+          cur_->invar.push_back(section_expr());
+          break;
+        case T::kFairness:
+          cur_->fairness.push_back(section_expr());
+          break;
+        case T::kSpec: {
+          const std::size_t from = lex_.peek().offset;
+          cur_->specs.push_back(section_expr());
+          const std::size_t to = last_end_;
+          std::string text = src_.substr(from, to - from);
+          while (!text.empty() &&
+                 std::isspace(static_cast<unsigned char>(text.back()))) {
+            text.pop_back();
+          }
+          cur_->spec_texts.push_back(std::move(text));
+          break;
+        }
+        default:
+          throw SmvError("expected a section keyword, found '" + section.text +
+                             "'",
+                         section.line);
+      }
+    }
+    prog_.modules.push_back(std::move(mod));
+    cur_ = nullptr;
+  }
+
+  // -- sections -------------------------------------------------------------
+
+  [[nodiscard]] bool at_section_start() const {
+    switch (lex_.peek().kind) {
+      case T::kVar:
+      case T::kAssign:
+      case T::kDefine:
+      case T::kTrans:
+      case T::kInit:
+      case T::kInvar:
+      case T::kFairness:
+      case T::kSpec:
+      case T::kModule:
+      case T::kEnd:
+        return true;
+      default:
+        return false;
+    }
+  }
+
+  ExprP section_expr() {
+    ExprP e = parse_expr();
+    if (lex_.peek().kind == T::kSemi) lex_.take();
+    return e;
+  }
+
+  void parse_var_section() {
+    while (!at_section_start()) {
+      const Token name = expect(T::kIdent, "variable name");
+      expect(T::kColon, "':'");
+      VarDecl decl;
+      decl.name = name.text;
+      decl.line = name.line;
+      const Token t = lex_.take();
+      if (t.kind == T::kBoolean) {
+        decl.type = VarDecl::Type::kBoolean;
+      } else if (t.kind == T::kIdent) {
+        // Instance of another module, with optional arguments.
+        decl.type = VarDecl::Type::kInstance;
+        decl.module = t.text;
+        if (lex_.peek().kind == T::kLParen) {
+          lex_.take();
+          if (lex_.peek().kind == T::kRParen) {
+            lex_.take();
+          } else {
+            for (;;) {
+              decl.arguments.push_back(parse_expr());
+              const Token sep = lex_.take();
+              if (sep.kind == T::kRParen) break;
+              if (sep.kind != T::kComma) {
+                throw SmvError("expected ',' or ')' in instance arguments",
+                               sep.line);
+              }
+            }
+          }
+        }
+      } else if (t.kind == T::kLBrace) {
+        decl.type = VarDecl::Type::kDomain;
+        for (;;) {
+          const Token v = lex_.take();
+          SmvValue val;
+          if (v.kind == T::kIdent) {
+            val.tag = SmvValue::Tag::kSymbol;
+            val.symbol = v.text;
+          } else if (v.kind == T::kInt) {
+            val.tag = SmvValue::Tag::kInt;
+            val.i = v.ival;
+          } else if (v.kind == T::kMinus) {
+            const Token n = expect(T::kInt, "integer");
+            val.tag = SmvValue::Tag::kInt;
+            val.i = -n.ival;
+          } else {
+            throw SmvError("expected enum member, found '" + v.text + "'",
+                           v.line);
+          }
+          decl.domain.push_back(std::move(val));
+          const Token sep = lex_.take();
+          if (sep.kind == T::kRBrace) break;
+          if (sep.kind != T::kComma) {
+            throw SmvError("expected ',' or '}' in enum", sep.line);
+          }
+        }
+      } else if (t.kind == T::kInt || t.kind == T::kMinus) {
+        decl.type = VarDecl::Type::kDomain;
+        std::int64_t lo =
+            t.kind == T::kMinus ? -expect(T::kInt, "integer").ival : t.ival;
+        expect(T::kDotDot, "'..'");
+        std::int64_t hi;
+        const Token h = lex_.take();
+        if (h.kind == T::kMinus) {
+          hi = -expect(T::kInt, "integer").ival;
+        } else if (h.kind == T::kInt) {
+          hi = h.ival;
+        } else {
+          throw SmvError("expected integer range bound", h.line);
+        }
+        if (hi < lo || hi - lo >= 1u << 20) {
+          throw SmvError("bad range " + std::to_string(lo) + ".." +
+                             std::to_string(hi),
+                         t.line);
+        }
+        for (std::int64_t v = lo; v <= hi; ++v) {
+          SmvValue val;
+          val.tag = SmvValue::Tag::kInt;
+          val.i = v;
+          decl.domain.push_back(val);
+        }
+      } else {
+        throw SmvError("expected a type after ':'", t.line);
+      }
+      expect(T::kSemi, "';'");
+      cur_->vars.push_back(std::move(decl));
+    }
+  }
+
+  void parse_assign_section() {
+    while (!at_section_start()) {
+      const Token t = lex_.take();
+      Assign a;
+      a.line = t.line;
+      if (t.kind == T::kInitFn || t.kind == T::kNextFn) {
+        a.kind = t.kind == T::kInitFn ? Assign::Kind::kInit
+                                      : Assign::Kind::kNext;
+        expect(T::kLParen, "'('");
+        a.var = expect(T::kIdent, "variable name").text;
+        expect(T::kRParen, "')'");
+      } else if (t.kind == T::kIdent) {
+        a.kind = Assign::Kind::kCurrent;
+        a.var = t.text;
+      } else {
+        throw SmvError("expected init(x), next(x) or x in ASSIGN", t.line);
+      }
+      expect(T::kAssignOp, "':='");
+      a.rhs = parse_expr();
+      expect(T::kSemi, "';'");
+      cur_->assigns.push_back(std::move(a));
+    }
+  }
+
+  void parse_define_section() {
+    while (!at_section_start()) {
+      Define d;
+      const Token name = expect(T::kIdent, "DEFINE name");
+      d.name = name.text;
+      d.line = name.line;
+      expect(T::kAssignOp, "':='");
+      d.rhs = parse_expr();
+      expect(T::kSemi, "';'");
+      cur_->defines.push_back(std::move(d));
+    }
+  }
+
+  // -- expressions (precedence climbing) -------------------------------------
+
+  ExprP parse_expr() { return parse_iff(); }
+
+  ExprP parse_iff() {
+    ExprP e = parse_implies();
+    while (lex_.peek().kind == T::kIff) {
+      const std::size_t line = lex_.take().line;
+      e = Expr::make(EK::kIff, line, {e, parse_implies()});
+    }
+    return e;
+  }
+
+  ExprP parse_implies() {
+    ExprP e = parse_or();
+    if (lex_.peek().kind == T::kImplies) {
+      const std::size_t line = lex_.take().line;
+      return Expr::make(EK::kImplies, line, {e, parse_implies()});
+    }
+    return e;
+  }
+
+  ExprP parse_or() {
+    ExprP e = parse_xor();
+    while (lex_.peek().kind == T::kOr) {
+      const std::size_t line = lex_.take().line;
+      e = Expr::make(EK::kOr, line, {e, parse_xor()});
+    }
+    return e;
+  }
+
+  ExprP parse_xor() {
+    ExprP e = parse_and();
+    while (lex_.peek().kind == T::kXorWord) {
+      const std::size_t line = lex_.take().line;
+      e = Expr::make(EK::kXor, line, {e, parse_and()});
+    }
+    return e;
+  }
+
+  ExprP parse_and() {
+    ExprP e = parse_temporal();
+    while (lex_.peek().kind == T::kAnd) {
+      const std::size_t line = lex_.take().line;
+      e = Expr::make(EK::kAnd, line, {e, parse_temporal()});
+    }
+    return e;
+  }
+
+  /// Negation and the temporal unaries bind looser than comparison and
+  /// arithmetic (NuSMV-style: "AF st = done" means AF (st = done)) but
+  /// tighter than '&'.
+  ExprP parse_temporal() {
+    const Token t = lex_.peek();
+    auto unary = [&](EK k) {
+      lex_.take();
+      return Expr::make(k, t.line, {parse_temporal()});
+    };
+    switch (t.kind) {
+      case T::kNot:
+        return unary(EK::kNot);
+      case T::kEXk:
+        return unary(EK::kEX);
+      case T::kEFk:
+        return unary(EK::kEF);
+      case T::kEGk:
+        return unary(EK::kEG);
+      case T::kAXk:
+        return unary(EK::kAX);
+      case T::kAFk:
+        return unary(EK::kAF);
+      case T::kAGk:
+        return unary(EK::kAG);
+      case T::kEk:
+      case T::kAk: {
+        lex_.take();
+        expect(T::kLBracket, "'[' (E[f U g] / A[f U g])");
+        ExprP lhs = parse_expr();
+        expect(T::kUk, "'U'");
+        ExprP rhs = parse_expr();
+        expect(T::kRBracket, "']'");
+        return Expr::make(t.kind == T::kEk ? EK::kEU : EK::kAU, t.line,
+                          {lhs, rhs});
+      }
+      default:
+        return parse_cmp();
+    }
+  }
+
+  ExprP parse_cmp() {
+    ExprP e = parse_union();
+    for (;;) {
+      EK k;
+      switch (lex_.peek().kind) {
+        case T::kEq:
+          k = EK::kEq;
+          break;
+        case T::kNe:
+          k = EK::kNe;
+          break;
+        case T::kLt:
+          k = EK::kLt;
+          break;
+        case T::kLe:
+          k = EK::kLe;
+          break;
+        case T::kGt:
+          k = EK::kGt;
+          break;
+        case T::kGe:
+          k = EK::kGe;
+          break;
+        default:
+          return e;
+      }
+      const std::size_t line = lex_.take().line;
+      e = Expr::make(k, line, {e, parse_union()});
+    }
+  }
+
+  ExprP parse_union() {
+    ExprP e = parse_add();
+    while (lex_.peek().kind == T::kUnion) {
+      const std::size_t line = lex_.take().line;
+      // a union b is a two-member set.
+      e = Expr::make(EK::kSet, line, {e, parse_add()});
+    }
+    return e;
+  }
+
+  ExprP parse_add() {
+    ExprP e = parse_mul();
+    for (;;) {
+      EK k;
+      if (lex_.peek().kind == T::kPlus) {
+        k = EK::kAdd;
+      } else if (lex_.peek().kind == T::kMinus) {
+        k = EK::kSub;
+      } else {
+        return e;
+      }
+      const std::size_t line = lex_.take().line;
+      e = Expr::make(k, line, {e, parse_mul()});
+    }
+  }
+
+  ExprP parse_mul() {
+    ExprP e = parse_unary();
+    for (;;) {
+      EK k;
+      switch (lex_.peek().kind) {
+        case T::kStar:
+          k = EK::kMul;
+          break;
+        case T::kSlash:
+          k = EK::kDiv;
+          break;
+        case T::kModWord:
+          k = EK::kMod;
+          break;
+        default:
+          return e;
+      }
+      const std::size_t line = lex_.take().line;
+      e = Expr::make(k, line, {e, parse_unary()});
+    }
+  }
+
+  ExprP parse_unary() {
+    const Token t = lex_.peek();
+    switch (t.kind) {
+      case T::kNot: {
+        // Also allowed here so "a = !b" and "!!x" still parse.
+        lex_.take();
+        return Expr::make(EK::kNot, t.line, {parse_unary()});
+      }
+      case T::kMinus:
+        lex_.take();
+        return Expr::make(EK::kNeg, t.line, {parse_unary()});
+      case T::kNextFn: {
+        lex_.take();
+        expect(T::kLParen, "'('");
+        ExprP sub = parse_expr();
+        expect(T::kRParen, "')'");
+        return Expr::make(EK::kNext, t.line, {sub});
+      }
+      default:
+        return parse_primary();
+    }
+  }
+
+  ExprP parse_primary() {
+    const Token t = lex_.take();
+    last_end_ = lex_.peek().offset;
+    switch (t.kind) {
+      case T::kTrue:
+        return Expr::make(EK::kTrue, t.line);
+      case T::kFalse:
+        return Expr::make(EK::kFalse, t.line);
+      case T::kInt: {
+        auto e = Expr::make(EK::kInt, t.line);
+        const_cast<Expr&>(*e).ival = t.ival;
+        return e;
+      }
+      case T::kIdent: {
+        auto e = Expr::make(EK::kIdent, t.line);
+        const_cast<Expr&>(*e).name = t.text;
+        return e;
+      }
+      case T::kLParen: {
+        ExprP e = parse_expr();
+        expect(T::kRParen, "')'");
+        last_end_ = lex_.peek().offset;
+        return e;
+      }
+      case T::kLBrace: {
+        std::vector<ExprP> members;
+        for (;;) {
+          members.push_back(parse_expr());
+          const Token sep = lex_.take();
+          if (sep.kind == T::kRBrace) break;
+          if (sep.kind != T::kComma) {
+            throw SmvError("expected ',' or '}' in set", sep.line);
+          }
+        }
+        last_end_ = lex_.peek().offset;
+        return Expr::make(EK::kSet, t.line, std::move(members));
+      }
+      case T::kCase: {
+        std::vector<ExprP> kids;
+        while (lex_.peek().kind != T::kEsac) {
+          kids.push_back(parse_expr());  // condition
+          expect(T::kColon, "':'");
+          kids.push_back(parse_expr());  // value
+          expect(T::kSemi, "';'");
+        }
+        lex_.take();  // esac
+        if (kids.empty()) throw SmvError("empty case", t.line);
+        last_end_ = lex_.peek().offset;
+        return Expr::make(EK::kCase, t.line, std::move(kids));
+      }
+      default:
+        throw SmvError("unexpected token '" + t.text + "'", t.line);
+    }
+  }
+
+  Token expect(T kind, const char* what) {
+    const Token t = lex_.take();
+    if (t.kind != kind) {
+      throw SmvError(std::string("expected ") + what + ", found '" + t.text +
+                         "'",
+                     t.line);
+    }
+    last_end_ = lex_.peek().offset;
+    return t;
+  }
+
+  const std::string& src_;
+  Lexer lex_;
+  Program prog_;
+  Module* cur_ = nullptr;
+  std::size_t last_end_ = 0;  // offset just past the last consumed token
+};
+
+}  // namespace
+
+Program parse_program(const std::string& source) {
+  return Parser(source).parse();
+}
+
+}  // namespace symcex::smv::detail

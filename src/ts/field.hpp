@@ -1,0 +1,107 @@
+// SymCeX -- bounded-integer fields over boolean state variables.
+//
+// A Field groups the state variables encoding one bounded unsigned integer
+// (LSB first) and provides the predicates model builders need: equality to
+// a constant, membership in a set, range validity, successor arithmetic,
+// and decoding from a concrete state.  Used by the model zoo, the automata
+// product construction and the SMV elaborator.
+
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "bdd/bdd.hpp"
+#include "ts/transition_system.hpp"
+
+namespace symcex::ts {
+
+class Field {
+ public:
+  Field() = default;
+  /// Declare `name` as ceil(log2(count)) fresh state variables of `m`.
+  Field(TransitionSystem& m, const std::string& name, std::uint32_t count)
+      : m_(&m), count_(count) {
+    if (count < 2) {
+      throw std::invalid_argument("Field: need a domain of at least 2");
+    }
+    std::uint32_t bits = 1;
+    while ((1u << bits) < count) ++bits;
+    vars_ = m.add_vector(name, bits);
+  }
+  /// Wrap already-declared variables (domain size `count`).
+  Field(TransitionSystem& m, std::vector<VarId> vars, std::uint32_t count)
+      : m_(&m), vars_(std::move(vars)), count_(count) {}
+
+  [[nodiscard]] const std::vector<VarId>& vars() const { return vars_; }
+  [[nodiscard]] std::uint32_t count() const { return count_; }
+
+  /// field == value, on the current (next_rail=false) or next rail.
+  [[nodiscard]] bdd::Bdd eq(std::uint32_t value, bool next_rail = false) const {
+    check(value);
+    bdd::Bdd out = m_->manager().one();
+    for (std::size_t b = 0; b < vars_.size(); ++b) {
+      const bdd::Bdd lit = next_rail ? m_->next(vars_[b]) : m_->cur(vars_[b]);
+      out &= ((value >> b) & 1u) != 0 ? lit : !lit;
+    }
+    return out;
+  }
+
+  /// field' == field (the field holds its value across the transition).
+  [[nodiscard]] bdd::Bdd unchanged() const {
+    bdd::Bdd out = m_->manager().one();
+    for (const VarId v : vars_) out &= !(m_->cur(v) ^ m_->next(v));
+    return out;
+  }
+
+  /// Disjunction of eq() over a value set.
+  [[nodiscard]] bdd::Bdd among(const std::vector<std::uint32_t>& values,
+                               bool next_rail = false) const {
+    bdd::Bdd out = m_->manager().zero();
+    for (const std::uint32_t v : values) out |= eq(v, next_rail);
+    return out;
+  }
+
+  /// field < count (rejects the unused part of a non-power-of-two domain).
+  [[nodiscard]] bdd::Bdd valid(bool next_rail = false) const {
+    if ((count_ & (count_ - 1)) == 0) return m_->manager().one();
+    bdd::Bdd out = m_->manager().zero();
+    for (std::uint32_t v = 0; v < count_; ++v) out |= eq(v, next_rail);
+    return out;
+  }
+
+  /// Relation: field' == (field + 1) mod count.
+  [[nodiscard]] bdd::Bdd increment_mod() const {
+    bdd::Bdd out = m_->manager().zero();
+    for (std::uint32_t v = 0; v < count_; ++v) {
+      out |= eq(v, false) & eq((v + 1) % count_, true);
+    }
+    return out;
+  }
+
+  /// Value of the field in a concrete state (state_values() output).
+  [[nodiscard]] std::uint32_t decode(const std::vector<bool>& values) const {
+    std::uint32_t out = 0;
+    for (std::size_t b = 0; b < vars_.size(); ++b) {
+      if (values[vars_[b]]) out |= 1u << b;
+    }
+    return out;
+  }
+
+ private:
+  void check(std::uint32_t value) const {
+    if (m_ == nullptr) throw std::logic_error("Field: default-constructed");
+    if (value >= (1u << vars_.size())) {
+      throw std::invalid_argument("Field: value " + std::to_string(value) +
+                                  " out of range");
+    }
+  }
+
+  TransitionSystem* m_ = nullptr;
+  std::vector<VarId> vars_;
+  std::uint32_t count_ = 0;
+};
+
+}  // namespace symcex::ts

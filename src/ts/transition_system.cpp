@@ -1,0 +1,351 @@
+#include "ts/transition_system.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <ostream>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace symcex::ts {
+
+TransitionSystem::TransitionSystem() : TransitionSystem(bdd::ManagerOptions{}) {}
+
+TransitionSystem::TransitionSystem(const bdd::ManagerOptions& options)
+    : mgr_(std::make_unique<bdd::Manager>(0, options)) {
+  init_ = mgr_->one();
+}
+
+void TransitionSystem::require_open(const char* what) const {
+  if (finalized_) {
+    throw std::logic_error(std::string("TransitionSystem::") + what +
+                           ": structure already finalized");
+  }
+}
+
+void TransitionSystem::require_finalized(const char* what) const {
+  if (!finalized_) {
+    throw std::logic_error(std::string("TransitionSystem::") + what +
+                           ": finalize() has not been called");
+  }
+}
+
+VarId TransitionSystem::add_var(const std::string& name) {
+  require_open("add_var");
+  if (name.empty()) {
+    throw std::invalid_argument("TransitionSystem::add_var: empty name");
+  }
+  if (by_name_.count(name) != 0) {
+    throw std::invalid_argument("TransitionSystem::add_var: duplicate name '" +
+                                name + "'");
+  }
+  const auto v = static_cast<VarId>(names_.size());
+  names_.push_back(name);
+  by_name_.emplace(name, v);
+  // Interleaved rails: BDD var 2v is current, 2v+1 is next.
+  const std::uint32_t c = mgr_->new_var();
+  const std::uint32_t n = mgr_->new_var();
+  (void)c;
+  (void)n;
+  return v;
+}
+
+std::vector<VarId> TransitionSystem::add_vector(const std::string& name,
+                                                std::uint32_t width) {
+  std::vector<VarId> out;
+  out.reserve(width);
+  for (std::uint32_t i = 0; i < width; ++i) {
+    out.push_back(add_var(name + "." + std::to_string(i)));
+  }
+  return out;
+}
+
+void TransitionSystem::set_init(const bdd::Bdd& init) {
+  require_open("set_init");
+  init_ = init;
+}
+
+void TransitionSystem::add_trans(const bdd::Bdd& part) {
+  require_open("add_trans");
+  parts_.push_back(part);
+}
+
+void TransitionSystem::add_fairness(const bdd::Bdd& constraint) {
+  require_open("add_fairness");
+  fairness_.push_back(constraint);
+}
+
+void TransitionSystem::add_label(const std::string& name,
+                                 const bdd::Bdd& states) {
+  require_open("add_label");
+  if (!labels_.emplace(name, states).second) {
+    throw std::invalid_argument(
+        "TransitionSystem::add_label: duplicate label '" + name + "'");
+  }
+}
+
+const std::string& TransitionSystem::var_name(VarId v) const {
+  if (v >= names_.size()) {
+    throw std::invalid_argument("TransitionSystem::var_name: bad VarId");
+  }
+  return names_[v];
+}
+
+std::optional<VarId> TransitionSystem::find_var(const std::string& name) const {
+  const auto it = by_name_.find(name);
+  if (it == by_name_.end()) return std::nullopt;
+  return it->second;
+}
+
+bdd::Bdd TransitionSystem::cur(VarId v) const {
+  if (v >= names_.size()) {
+    throw std::invalid_argument("TransitionSystem::cur: bad VarId");
+  }
+  return mgr_->var(2 * v);
+}
+
+bdd::Bdd TransitionSystem::next(VarId v) const {
+  if (v >= names_.size()) {
+    throw std::invalid_argument("TransitionSystem::next: bad VarId");
+  }
+  return mgr_->var(2 * v + 1);
+}
+
+void TransitionSystem::finalize() {
+  if (finalized_) return;
+  if (parts_.empty()) {
+    throw std::logic_error(
+        "TransitionSystem::finalize: no transition relation");
+  }
+  finalized_ = true;
+  std::vector<std::uint32_t> curs;
+  std::vector<std::uint32_t> nexts;
+  cur_to_next_.resize(2 * names_.size());
+  next_to_cur_.resize(2 * names_.size());
+  for (VarId v = 0; v < names_.size(); ++v) {
+    curs.push_back(2 * v);
+    nexts.push_back(2 * v + 1);
+    cur_to_next_[2 * v] = 2 * v + 1;
+    cur_to_next_[2 * v + 1] = 2 * v + 1;  // identity beyond domain of use
+    next_to_cur_[2 * v + 1] = 2 * v;
+    next_to_cur_[2 * v] = 2 * v;
+  }
+  cur_cube_ = mgr_->cube(curs);
+  next_cube_ = mgr_->cube(nexts);
+  build_schedules();
+}
+
+void TransitionSystem::build_schedules() {
+  // For the image sweep over parts_ in order, current-rail variable x may be
+  // quantified at step i if no part j > i depends on it.  Variables in no
+  // part at all go into the step-0 cube.  Symmetric for preimage/next rail.
+  const std::size_t k = parts_.size();
+  std::vector<std::vector<std::uint32_t>> img_vars(k);
+  std::vector<std::vector<std::uint32_t>> pre_vars(k);
+  std::vector<std::size_t> last_cur(2 * names_.size(), 0);
+  std::vector<std::size_t> last_next(2 * names_.size(), 0);
+  std::vector<bool> seen_cur(2 * names_.size(), false);
+  std::vector<bool> seen_next(2 * names_.size(), false);
+  for (std::size_t i = 0; i < k; ++i) {
+    for (const std::uint32_t x : parts_[i].support()) {
+      if (x % 2 == 0) {
+        last_cur[x] = i;
+        seen_cur[x] = true;
+      } else {
+        last_next[x] = i;
+        seen_next[x] = true;
+      }
+    }
+  }
+  for (VarId v = 0; v < names_.size(); ++v) {
+    const std::uint32_t c = 2 * v;
+    const std::uint32_t n = 2 * v + 1;
+    img_vars[seen_cur[c] ? last_cur[c] : 0].push_back(c);
+    pre_vars[seen_next[n] ? last_next[n] : 0].push_back(n);
+  }
+  img_sched_.clear();
+  pre_sched_.clear();
+  for (std::size_t i = 0; i < k; ++i) {
+    img_sched_.push_back(mgr_->cube(img_vars[i]));
+    pre_sched_.push_back(mgr_->cube(pre_vars[i]));
+  }
+}
+
+std::optional<bdd::Bdd> TransitionSystem::label(const std::string& name) const {
+  const auto it = labels_.find(name);
+  if (it == labels_.end()) return std::nullopt;
+  return it->second;
+}
+
+const bdd::Bdd& TransitionSystem::trans() const {
+  require_finalized("trans");
+  if (trans_.is_null()) {
+    bdd::Bdd acc = mgr_->one();
+    for (const auto& p : parts_) acc &= p;
+    trans_ = acc;
+  }
+  return trans_;
+}
+
+const bdd::Bdd& TransitionSystem::cur_cube() const {
+  require_finalized("cur_cube");
+  return cur_cube_;
+}
+
+const bdd::Bdd& TransitionSystem::next_cube() const {
+  require_finalized("next_cube");
+  return next_cube_;
+}
+
+bdd::Bdd TransitionSystem::prime(const bdd::Bdd& f) const {
+  require_finalized("prime");
+  return mgr_->rename(f, cur_to_next_);
+}
+
+bdd::Bdd TransitionSystem::unprime(const bdd::Bdd& f) const {
+  require_finalized("unprime");
+  return mgr_->rename(f, next_to_cur_);
+}
+
+bdd::Bdd TransitionSystem::image(const bdd::Bdd& states,
+                                 ImageMethod method) const {
+  require_finalized("image");
+  if (method == ImageMethod::kMonolithic || parts_.size() == 1) {
+    return unprime(mgr_->and_exists(states, trans(), cur_cube_));
+  }
+  bdd::Bdd acc = states;
+  for (std::size_t i = 0; i < parts_.size(); ++i) {
+    acc = mgr_->and_exists(acc, parts_[i], img_sched_[i]);
+  }
+  return unprime(acc);
+}
+
+bdd::Bdd TransitionSystem::preimage(const bdd::Bdd& states,
+                                    ImageMethod method) const {
+  require_finalized("preimage");
+  const bdd::Bdd primed = prime(states);
+  if (method == ImageMethod::kMonolithic || parts_.size() == 1) {
+    return mgr_->and_exists(primed, trans(), next_cube_);
+  }
+  bdd::Bdd acc = primed;
+  for (std::size_t i = 0; i < parts_.size(); ++i) {
+    acc = mgr_->and_exists(acc, parts_[i], pre_sched_[i]);
+  }
+  return acc;
+}
+
+const bdd::Bdd& TransitionSystem::reachable() const {
+  require_finalized("reachable");
+  if (reachable_.is_null()) {
+    bdd::Bdd reached = init_;
+    bdd::Bdd frontier = init_;
+    while (!frontier.is_false()) {
+      const bdd::Bdd img = image(frontier);
+      frontier = img - reached;
+      reached |= frontier;
+    }
+    reachable_ = reached;
+  }
+  return reachable_;
+}
+
+double TransitionSystem::count_states(const bdd::Bdd& set) const {
+  // States live on the current rail: count over the n current variables by
+  // quantifying nothing and halving out the absent next rail.
+  const auto n = static_cast<std::uint32_t>(names_.size());
+  // sat_count over all 2n BDD vars counts each state 2^n times (the next
+  // rail is unconstrained), so count over the even rail only.
+  return set.sat_count(2 * n) / std::pow(2.0, static_cast<double>(n));
+}
+
+bdd::Bdd TransitionSystem::pick_state(const bdd::Bdd& set) const {
+  require_finalized("pick_state");
+  std::vector<std::uint32_t> curs;
+  curs.reserve(names_.size());
+  for (VarId v = 0; v < names_.size(); ++v) curs.push_back(2 * v);
+  return mgr_->pick_one_minterm(set, curs);
+}
+
+std::vector<bool> TransitionSystem::state_values(const bdd::Bdd& state) const {
+  std::vector<bool> out(names_.size());
+  for (VarId v = 0; v < names_.size(); ++v) {
+    const bdd::Bdd with_true = state & cur(v);
+    out[v] = !with_true.is_false();
+  }
+  return out;
+}
+
+std::string TransitionSystem::state_string(const bdd::Bdd& state,
+                                           const bdd::Bdd& diff_from) const {
+  const std::vector<bool> vals = state_values(state);
+  std::vector<bool> prev;
+  if (!diff_from.is_null()) prev = state_values(diff_from);
+  std::string out;
+  for (VarId v = 0; v < names_.size(); ++v) {
+    if (!prev.empty() && prev[v] == vals[v]) continue;
+    if (!out.empty()) out += ' ';
+    out += names_[v] + '=' + (vals[v] ? '1' : '0');
+  }
+  if (out.empty()) out = "(unchanged)";
+  return out;
+}
+
+void TransitionSystem::dump_state_graph(
+    std::ostream& os, std::size_t max_states,
+    const std::vector<bdd::Bdd>& highlight) const {
+  require_finalized("dump_state_graph");
+  // Enumerate the reachable states breadth-first.
+  std::vector<bdd::Bdd> states;
+  std::map<bdd::Bdd, std::size_t> ids;
+  bdd::Bdd pending = init();
+  std::vector<std::size_t> queue;
+  auto intern = [&](const bdd::Bdd& s) {
+    const auto it = ids.find(s);
+    if (it != ids.end()) return it->second;
+    if (states.size() >= max_states) {
+      throw std::length_error(
+          "dump_state_graph: more reachable states than max_states");
+    }
+    const std::size_t id = states.size();
+    states.push_back(s);
+    ids.emplace(s, id);
+    queue.push_back(id);
+    return id;
+  };
+  while (!pending.is_false()) {
+    const bdd::Bdd s = pick_state(pending);
+    pending -= s;
+    (void)intern(s);
+  }
+  const std::size_t num_init = states.size();
+
+  os << "digraph states {\n  rankdir=LR;\n  node [shape=circle];\n";
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    const std::size_t u = queue[head];
+    bdd::Bdd img = image(states[u]);
+    while (!img.is_false()) {
+      const bdd::Bdd t = pick_state(img);
+      img -= t;
+      const std::size_t v = intern(t);
+      os << "  s" << u << " -> s" << v << ";\n";
+    }
+  }
+  for (std::size_t i = 0; i < states.size(); ++i) {
+    bool lit = false;
+    for (const auto& h : highlight) lit = lit || states[i].intersects(h);
+    os << "  s" << i << " [label=\"" << state_string(states[i]) << "\"";
+    if (i < num_init) os << ",peripheries=2";
+    if (lit) os << ",style=filled,fillcolor=lightgrey";
+    os << "];\n";
+  }
+  os << "}\n";
+}
+
+bool TransitionSystem::is_total_on(const bdd::Bdd& states) const {
+  require_finalized("is_total_on");
+  // A state is stuck iff it has no successor: states - EX(true) non-empty.
+  const bdd::Bdd has_succ = preimage(mgr_->one());
+  return (states - has_succ).is_false();
+}
+
+}  // namespace symcex::ts

@@ -1,0 +1,195 @@
+// SymCeX -- symbolic transition systems.
+//
+// A labeled state-transition graph M = (AP, S, L, N, S0) in the sense of
+// Section 3 of the paper, represented symbolically: the behaviour is
+// determined by n boolean state variables, the transition relation
+// R(v, v') is a BDD over two rails of variables (current and next), and
+// state sets are BDDs over the current rail.
+//
+// Variable layout: state variable i occupies BDD variables 2i (current)
+// and 2i+1 (next).  Interleaving keeps R small for the common case of
+// per-variable next-state functions and makes the current<->next renaming
+// order-preserving, so `prime`/`unprime` are cheap structural rewrites.
+//
+// The transition relation may be kept as a conjunctive partition
+// (one conjunct per assignment/gate); image and preimage then use a fused
+// AndExists sweep with an early-quantification schedule, or the monolithic
+// product, selectable per call (benched as an ablation).
+
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "bdd/bdd.hpp"
+
+namespace symcex::ts {
+
+/// Index of a state variable (not a raw BDD variable).
+using VarId = std::uint32_t;
+
+/// How image/preimage combine a partitioned transition relation.
+enum class ImageMethod {
+  kMonolithic,   ///< conjoin all parts once, one fused AndExists
+  kPartitioned,  ///< sweep over parts with early quantification
+};
+
+/// A symbolic Kripke structure.  Typical construction:
+///
+///   TransitionSystem ts;
+///   VarId x = ts.add_var("x");
+///   ts.set_init(!ts.cur(x));
+///   ts.add_trans(ts.next(x) ^ !ts.cur(x));   // x' = !x
+///   ts.add_label("high", ts.cur(x));
+///   ts.finalize();
+///
+/// After finalize() the structure is immutable and image/preimage/
+/// reachability and the model checker may be used.
+class TransitionSystem {
+ public:
+  TransitionSystem();
+  explicit TransitionSystem(const bdd::ManagerOptions& options);
+
+  TransitionSystem(const TransitionSystem&) = delete;
+  TransitionSystem& operator=(const TransitionSystem&) = delete;
+
+  /// The BDD manager all sets/relations of this system live in.
+  [[nodiscard]] bdd::Manager& manager() { return *mgr_; }
+
+  // -- construction --------------------------------------------------------
+
+  /// Declare a boolean state variable.  Names must be unique and non-empty.
+  VarId add_var(const std::string& name);
+  /// Declare `width` variables "<name>.0" ... "<name>.<width-1>"
+  /// (bit 0 is the least significant).
+  std::vector<VarId> add_vector(const std::string& name, std::uint32_t width);
+
+  /// Set the initial-state predicate (over current variables).
+  void set_init(const bdd::Bdd& init);
+  /// Add one conjunct of the transition relation (over both rails).
+  void add_trans(const bdd::Bdd& part);
+  /// Add a fairness constraint: a state set that must recur infinitely
+  /// often along fair paths (Section 5 of the paper).
+  void add_fairness(const bdd::Bdd& constraint);
+  /// Bind an atomic-proposition name to a state predicate.
+  void add_label(const std::string& name, const bdd::Bdd& states);
+
+  /// Freeze the structure; computes quantification cubes and schedules.
+  /// Idempotent.  Construction calls after finalize() throw.
+  void finalize();
+  [[nodiscard]] bool finalized() const { return finalized_; }
+
+  // -- variables and literals ----------------------------------------------
+
+  [[nodiscard]] std::size_t num_state_vars() const { return names_.size(); }
+  [[nodiscard]] const std::string& var_name(VarId v) const;
+  [[nodiscard]] std::optional<VarId> find_var(const std::string& name) const;
+
+  /// Current-state literal of state variable v (BDD variable 2v).
+  [[nodiscard]] bdd::Bdd cur(VarId v) const;
+  /// Next-state literal of state variable v (BDD variable 2v+1).
+  [[nodiscard]] bdd::Bdd next(VarId v) const;
+
+  /// Rewrite a predicate over current variables to next variables.
+  [[nodiscard]] bdd::Bdd prime(const bdd::Bdd& f) const;
+  /// Rewrite a predicate over next variables to current variables.
+  [[nodiscard]] bdd::Bdd unprime(const bdd::Bdd& f) const;
+
+  /// Cube of all current-rail (resp. next-rail) BDD variables.
+  [[nodiscard]] const bdd::Bdd& cur_cube() const;
+  [[nodiscard]] const bdd::Bdd& next_cube() const;
+
+  // -- components ------------------------------------------------------------
+
+  [[nodiscard]] const bdd::Bdd& init() const { return init_; }
+  /// The monolithic transition relation (conjoined lazily and cached).
+  [[nodiscard]] const bdd::Bdd& trans() const;
+  /// The conjunctive partition as supplied by add_trans.
+  [[nodiscard]] const std::vector<bdd::Bdd>& trans_parts() const {
+    return parts_;
+  }
+  [[nodiscard]] const std::vector<bdd::Bdd>& fairness() const {
+    return fairness_;
+  }
+  [[nodiscard]] std::optional<bdd::Bdd> label(const std::string& name) const;
+  [[nodiscard]] const std::unordered_map<std::string, bdd::Bdd>& labels()
+      const {
+    return labels_;
+  }
+
+  // -- symbolic stepping -----------------------------------------------------
+
+  /// Successors of `states`:  { t | exists s in states. R(s, t) }.
+  [[nodiscard]] bdd::Bdd image(
+      const bdd::Bdd& states,
+      ImageMethod method = ImageMethod::kMonolithic) const;
+  /// Predecessors of `states` -- the EX operator:
+  /// { s | exists t in states. R(s, t) }.
+  [[nodiscard]] bdd::Bdd preimage(
+      const bdd::Bdd& states,
+      ImageMethod method = ImageMethod::kMonolithic) const;
+
+  /// All states reachable from init (least fixpoint; cached).
+  [[nodiscard]] const bdd::Bdd& reachable() const;
+  /// Number of states in a set (over the current rail).
+  [[nodiscard]] double count_states(const bdd::Bdd& set) const;
+
+  // -- concrete states --------------------------------------------------------
+
+  /// Pick one concrete state out of a nonempty set, as a full minterm
+  /// over the current rail.
+  [[nodiscard]] bdd::Bdd pick_state(const bdd::Bdd& set) const;
+  /// Values of all state variables in a (full-minterm) state.
+  [[nodiscard]] std::vector<bool> state_values(const bdd::Bdd& state) const;
+  /// Human-readable rendering, e.g. "x=1 y=0"; with `diff_from`, only
+  /// variables whose value changed are printed (SMV-style trace output).
+  [[nodiscard]] std::string state_string(
+      const bdd::Bdd& state, const bdd::Bdd& diff_from = bdd::Bdd()) const;
+
+  /// Does the relation admit at least one successor for every state in
+  /// `states`?  (Useful to validate models: CTL semantics expect a total
+  /// relation on reachable states.)
+  [[nodiscard]] bool is_total_on(const bdd::Bdd& states) const;
+
+  /// Write the reachable state graph in Graphviz DOT syntax (each node
+  /// labelled with its state_string, initial states doubly circled,
+  /// highlighted sets drawn filled).  Throws std::length_error when more
+  /// than `max_states` states are reachable -- intended for small models.
+  void dump_state_graph(std::ostream& os, std::size_t max_states = 256,
+                        const std::vector<bdd::Bdd>& highlight = {}) const;
+
+ private:
+  void require_open(const char* what) const;
+  void require_finalized(const char* what) const;
+  void build_schedules();
+
+  std::unique_ptr<bdd::Manager> mgr_;
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, VarId> by_name_;
+  bdd::Bdd init_;
+  std::vector<bdd::Bdd> parts_;
+  std::vector<bdd::Bdd> fairness_;
+  std::unordered_map<std::string, bdd::Bdd> labels_;
+  bool finalized_ = false;
+
+  // Built by finalize():
+  bdd::Bdd cur_cube_;
+  bdd::Bdd next_cube_;
+  std::vector<std::uint32_t> cur_to_next_;  // BDD-var rename maps
+  std::vector<std::uint32_t> next_to_cur_;
+  // Early-quantification schedule: for the image sweep, cube of current
+  // variables that may be quantified when conjoining part i (they appear
+  // in no later part); symmetrically for the preimage sweep on next vars.
+  std::vector<bdd::Bdd> img_sched_;
+  std::vector<bdd::Bdd> pre_sched_;
+
+  mutable bdd::Bdd trans_;        // cached monolithic relation
+  mutable bdd::Bdd reachable_;    // cached reachable set
+};
+
+}  // namespace symcex::ts

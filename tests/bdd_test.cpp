@@ -1,0 +1,536 @@
+// Unit and property tests for the BDD package.
+
+#include <algorithm>
+#include <functional>
+#include <random>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "bdd/bdd.hpp"
+
+namespace symcex::bdd {
+namespace {
+
+class BddTest : public ::testing::Test {
+ protected:
+  Manager m{8};
+};
+
+TEST_F(BddTest, ConstantsAreDistinctAndIdempotent) {
+  EXPECT_TRUE(m.one().is_true());
+  EXPECT_TRUE(m.zero().is_false());
+  EXPECT_NE(m.one(), m.zero());
+  EXPECT_EQ(m.one(), m.one());
+  EXPECT_TRUE(m.one().is_constant());
+  EXPECT_FALSE(m.var(0).is_constant());
+}
+
+TEST_F(BddTest, NullHandleBehaviour) {
+  Bdd null;
+  EXPECT_TRUE(null.is_null());
+  EXPECT_FALSE(null.is_true());
+  EXPECT_FALSE(null.is_false());
+  EXPECT_EQ(null.manager(), nullptr);
+  EXPECT_THROW((void)(!null), std::logic_error);
+  EXPECT_THROW((void)(null & null), std::logic_error);
+  Bdd copy = null;  // copying null is fine
+  EXPECT_TRUE(copy.is_null());
+}
+
+TEST_F(BddTest, BasicBooleanIdentities) {
+  const Bdd a = m.var(0);
+  const Bdd b = m.var(1);
+  EXPECT_EQ(a & b, b & a);
+  EXPECT_EQ(a | b, b | a);
+  EXPECT_EQ(a ^ a, m.zero());
+  EXPECT_EQ(a ^ !a, m.one());
+  EXPECT_EQ(a & !a, m.zero());
+  EXPECT_EQ(a | !a, m.one());
+  EXPECT_EQ(!(!a), a);
+  EXPECT_EQ(a & m.one(), a);
+  EXPECT_EQ(a & m.zero(), m.zero());
+  EXPECT_EQ(a | m.zero(), a);
+  EXPECT_EQ(a - a, m.zero());
+  EXPECT_EQ((a & b) | (a & !b), a);  // Shannon expansion collapses
+}
+
+TEST_F(BddTest, CanonicityMeansStructuralEquality) {
+  const Bdd a = m.var(0);
+  const Bdd b = m.var(1);
+  const Bdd c = m.var(2);
+  EXPECT_EQ((a & b) & c, a & (b & c));
+  EXPECT_EQ(!(a & b), !a | !b);                 // De Morgan
+  EXPECT_EQ(a ^ b, (a & !b) | (!a & b));        // xor definition
+  EXPECT_EQ(m.ite(a, b, c), (a & b) | (!a & c));  // ite definition
+}
+
+TEST_F(BddTest, IteSpecialCases) {
+  const Bdd a = m.var(0);
+  const Bdd b = m.var(1);
+  EXPECT_EQ(m.ite(m.one(), a, b), a);
+  EXPECT_EQ(m.ite(m.zero(), a, b), b);
+  EXPECT_EQ(m.ite(a, m.one(), m.zero()), a);
+  EXPECT_EQ(m.ite(a, m.zero(), m.one()), !a);
+  EXPECT_EQ(m.ite(a, b, b), b);
+}
+
+TEST_F(BddTest, MixedManagerOperandsThrow) {
+  Manager other(4);
+  EXPECT_THROW((void)(m.var(0) & other.var(0)), std::invalid_argument);
+  EXPECT_THROW((void)m.ite(m.var(0), other.var(1), m.one()),
+               std::invalid_argument);
+}
+
+TEST_F(BddTest, EvalMatchesConstruction) {
+  const Bdd f = (m.var(0) & m.var(1)) | m.var(2);
+  EXPECT_TRUE(f.eval({true, true, false, false, false, false, false, false}));
+  EXPECT_TRUE(f.eval({false, false, true, false, false, false, false, false}));
+  EXPECT_FALSE(
+      f.eval({true, false, false, false, false, false, false, false}));
+  EXPECT_THROW((void)f.eval({true}), std::invalid_argument);
+}
+
+TEST_F(BddTest, ExistsAndForall) {
+  const Bdd a = m.var(0);
+  const Bdd b = m.var(1);
+  const Bdd f = a & b;
+  EXPECT_EQ(f.exists(m.cube({0})), b);
+  EXPECT_EQ(f.exists(m.cube({0, 1})), m.one());
+  EXPECT_EQ(f.forall(m.cube({0})), m.zero());
+  EXPECT_EQ((a | b).forall(m.cube({0})), b);
+  // Quantifying a variable not in the support is the identity.
+  EXPECT_EQ(f.exists(m.cube({5})), f);
+  // exists distributes over disjunction.
+  const Bdd g = m.var(2) & a;
+  EXPECT_EQ((f | g).exists(m.cube({0})), f.exists(m.cube({0})) |
+                                            g.exists(m.cube({0})));
+}
+
+TEST_F(BddTest, AndExistsEqualsConjoinThenQuantify) {
+  std::mt19937 rng(7);
+  for (int round = 0; round < 50; ++round) {
+    // Random functions over 6 variables.
+    auto random_fn = [&] {
+      Bdd f = m.zero();
+      for (int i = 0; i < 4; ++i) {
+        Bdd cube = m.one();
+        for (std::uint32_t v = 0; v < 6; ++v) {
+          const auto choice = rng() % 3;
+          if (choice == 0) cube &= m.var(v);
+          if (choice == 1) cube &= m.nvar(v);
+        }
+        f |= cube;
+      }
+      return f;
+    };
+    const Bdd f = random_fn();
+    const Bdd g = random_fn();
+    std::vector<std::uint32_t> qvars;
+    for (std::uint32_t v = 0; v < 6; ++v) {
+      if (rng() % 2 == 0) qvars.push_back(v);
+    }
+    const Bdd cube = m.cube(qvars);
+    EXPECT_EQ(m.and_exists(f, g, cube), (f & g).exists(cube));
+  }
+}
+
+TEST_F(BddTest, RestrictIsCofactor) {
+  const Bdd a = m.var(0);
+  const Bdd b = m.var(1);
+  const Bdd f = (a & b) | (!a & !b);
+  EXPECT_EQ(f.restrict_var(0, true), b);
+  EXPECT_EQ(f.restrict_var(0, false), !b);
+  EXPECT_EQ(f.restrict_var(5, true), f);  // not in support
+  // Shannon: f == (x & f|x=1) | (!x & f|x=0)
+  EXPECT_EQ(f, (a & f.restrict_var(0, true)) | (!a & f.restrict_var(0, false)));
+}
+
+TEST_F(BddTest, SupportAndDagSize) {
+  const Bdd f = (m.var(0) & m.var(3)) | m.var(5);
+  EXPECT_EQ(f.support(), (std::vector<std::uint32_t>{0, 3, 5}));
+  EXPECT_TRUE(m.one().support().empty());
+  EXPECT_EQ(m.one().dag_size(), 1u);
+  EXPECT_EQ(m.var(0).dag_size(), 3u);  // node + two terminals
+}
+
+TEST_F(BddTest, SatCount) {
+  EXPECT_EQ(m.one().sat_count(3), 8.0);
+  EXPECT_EQ(m.zero().sat_count(3), 0.0);
+  EXPECT_EQ(m.var(0).sat_count(3), 4.0);
+  EXPECT_EQ((m.var(0) & m.var(1)).sat_count(3), 2.0);
+  EXPECT_EQ((m.var(0) | m.var(1)).sat_count(2), 3.0);
+}
+
+TEST_F(BddTest, CubeAndMinterm) {
+  const Bdd c = m.cube({1, 3});
+  EXPECT_EQ(c, m.var(1) & m.var(3));
+  const Bdd mt = m.minterm({0, 1, 2}, {true, false, true});
+  EXPECT_EQ(mt, m.var(0) & !m.var(1) & m.var(2));
+  EXPECT_THROW((void)m.minterm({0}, {true, false}), std::invalid_argument);
+  EXPECT_THROW((void)m.cube({99}), std::invalid_argument);
+}
+
+TEST_F(BddTest, PickOneMintermSatisfiesFunction) {
+  std::mt19937 rng(11);
+  const std::vector<std::uint32_t> vars{0, 1, 2, 3, 4, 5};
+  for (int round = 0; round < 40; ++round) {
+    Bdd f = m.zero();
+    for (int i = 0; i < 3; ++i) {
+      Bdd cube = m.one();
+      for (const std::uint32_t v : vars) {
+        const auto choice = rng() % 3;
+        if (choice == 0) cube &= m.var(v);
+        if (choice == 1) cube &= m.nvar(v);
+      }
+      f |= cube;
+    }
+    if (f.is_false()) continue;
+    const Bdd pick = m.pick_one_minterm(f, vars);
+    EXPECT_TRUE(pick.implies(f));
+    EXPECT_EQ(pick.sat_count(6), 1.0);
+    const std::vector<bool> assignment = m.pick_one_assignment(f, vars);
+    EXPECT_TRUE(f.eval({assignment[0], assignment[1], assignment[2],
+                        assignment[3], assignment[4], assignment[5],
+                        false, false}));
+  }
+  EXPECT_THROW((void)m.pick_one_minterm(m.zero(), vars),
+               std::invalid_argument);
+}
+
+TEST_F(BddTest, PickIsDeterministic) {
+  const Bdd f = m.var(0) | m.var(2);
+  const std::vector<std::uint32_t> vars{0, 1, 2};
+  EXPECT_EQ(m.pick_one_minterm(f, vars), m.pick_one_minterm(f, vars));
+}
+
+TEST_F(BddTest, RenameMovesSupport) {
+  const Bdd f = m.var(0) & !m.var(2);
+  std::vector<std::uint32_t> map{1, 1, 3, 3, 4, 5, 6, 7};
+  const Bdd g = m.rename(f, map);
+  EXPECT_EQ(g, m.var(1) & !m.var(3));
+  // Round-trip back.
+  std::vector<std::uint32_t> inverse{0, 0, 2, 2, 4, 5, 6, 7};
+  EXPECT_EQ(m.rename(g, inverse), f);
+}
+
+TEST_F(BddTest, RenameRejectsOrderViolation) {
+  const Bdd f = m.var(0) & m.var(1);
+  // Swapping 0 and 1 does not preserve relative order.
+  std::vector<std::uint32_t> bad{1, 0, 2, 3, 4, 5, 6, 7};
+  EXPECT_THROW((void)m.rename(f, bad), std::invalid_argument);
+}
+
+TEST_F(BddTest, ImplicationAndIntersection) {
+  const Bdd a = m.var(0);
+  const Bdd b = m.var(1);
+  EXPECT_TRUE((a & b).implies(a));
+  EXPECT_FALSE(a.implies(a & b));
+  EXPECT_TRUE(a.intersects(a | b));
+  EXPECT_FALSE(a.intersects(!a));
+  EXPECT_TRUE((a & b).is_subset_of(a | b));
+}
+
+TEST_F(BddTest, GarbageCollectionReclaimsDeadNodes) {
+  ManagerOptions options;
+  options.disable_auto_gc = true;
+  Manager local(16, options);
+  const std::size_t baseline = local.stats().live_nodes;
+  {
+    Bdd junk = local.one();
+    for (std::uint32_t v = 0; v < 16; ++v) {
+      junk &= (v % 2 == 0) ? local.var(v) : !local.var(v);
+    }
+    EXPECT_GT(local.stats().live_nodes, baseline);
+    local.gc();
+    // junk is still referenced by the handle, so nothing was lost.
+    EXPECT_TRUE(junk.eval(std::vector<bool>{
+        true, false, true, false, true, false, true, false, true, false,
+        true, false, true, false, true, false}));
+  }
+  local.gc();
+  EXPECT_EQ(local.stats().live_nodes, baseline);
+  EXPECT_GE(local.stats().gc_runs, 2u);
+}
+
+TEST_F(BddTest, GcPreservesLiveFunctions) {
+  ManagerOptions options;
+  options.disable_auto_gc = true;
+  Manager local(8, options);
+  const Bdd keep = (local.var(0) & local.var(1)) | local.var(7);
+  {
+    Bdd junk = local.var(2) ^ local.var(3) ^ local.var(4);
+    (void)junk;
+  }
+  local.gc();
+  // The kept function is intact and new operations still work.
+  EXPECT_EQ(keep.restrict_var(7, false), local.var(0) & local.var(1));
+  EXPECT_EQ((keep & !local.var(7)).exists(local.cube({0, 1})), !local.var(7));
+}
+
+TEST_F(BddTest, AutoGcKeepsRunningWorkloadsCorrect) {
+  ManagerOptions options;
+  options.gc_threshold = 512;  // force frequent collections
+  Manager local(20, options);
+  // A workload with heavy garbage: repeated re-derivation must stay
+  // canonical across collections.
+  Bdd acc = local.zero();
+  for (int round = 0; round < 200; ++round) {
+    Bdd term = local.one();
+    for (std::uint32_t v = 0; v < 20; ++v) {
+      term &= ((round >> (v % 8)) & 1) != 0 ? local.var(v) : !local.var(v);
+    }
+    acc |= term;
+  }
+  EXPECT_EQ(acc.sat_count(20), 200.0);
+  EXPECT_GE(local.stats().gc_runs, 1u);
+}
+
+TEST_F(BddTest, DotExportMentionsAllNodes) {
+  const Bdd f = m.var(0) & !m.var(1);
+  std::ostringstream os;
+  m.dump_dot(os, {f}, {"a", "b"});
+  const std::string dot = os.str();
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("\"a\""), std::string::npos);
+  EXPECT_NE(dot.find("\"b\""), std::string::npos);
+}
+
+TEST_F(BddTest, CubeStringRendersLiterals) {
+  const Bdd c = m.var(0) & !m.var(2);
+  EXPECT_EQ(c.cube_string({"x", "y", "z"}), "x & !z");
+  EXPECT_EQ(c.cube_string(), "v0 & !v2");
+  EXPECT_EQ(m.one().cube_string(), "true");
+  EXPECT_EQ(m.zero().cube_string(), "false");
+  EXPECT_THROW((void)(m.var(0) | m.var(1)).cube_string(),
+               std::invalid_argument);
+}
+
+TEST_F(BddTest, NewVarExtendsTheOrder) {
+  Manager local(0);
+  EXPECT_EQ(local.num_vars(), 0u);
+  const std::uint32_t v0 = local.new_var();
+  const std::uint32_t v1 = local.new_var();
+  EXPECT_EQ(v0, 0u);
+  EXPECT_EQ(v1, 1u);
+  EXPECT_THROW((void)local.var(2), std::invalid_argument);
+  EXPECT_EQ((local.var(0) & local.var(1)).support().size(), 2u);
+}
+
+TEST(BddStressTest, TinyComputedCacheStaysCorrect) {
+  // A 16-slot cache forces constant evictions and collisions; results must
+  // be identical to a generously cached manager.
+  ManagerOptions tiny;
+  tiny.cache_log2_size = 4;
+  Manager small(10, tiny);
+  Manager big(10);
+  std::mt19937 rng(5);
+  auto build = [&](Manager& m) {
+    std::vector<Bdd> pool;
+    for (std::uint32_t v = 0; v < 10; ++v) pool.push_back(m.var(v));
+    std::mt19937 local(99);
+    Bdd acc = m.zero();
+    for (int step = 0; step < 200; ++step) {
+      const Bdd& a = pool[local() % pool.size()];
+      const Bdd& b = pool[local() % pool.size()];
+      switch (local() % 4) {
+        case 0:
+          pool.push_back(a & b);
+          break;
+        case 1:
+          pool.push_back(a | b);
+          break;
+        case 2:
+          pool.push_back(a ^ b);
+          break;
+        default:
+          pool.push_back(m.ite(a, b, acc));
+          break;
+      }
+      acc ^= pool.back();
+    }
+    return acc;
+  };
+  (void)rng;
+  const Bdd from_small = build(small);
+  const Bdd from_big = build(big);
+  // Different managers: compare semantically.
+  for (unsigned a = 0; a < (1u << 10); a += 7) {
+    std::vector<bool> assignment(10);
+    for (std::uint32_t v = 0; v < 10; ++v) {
+      assignment[v] = ((a >> v) & 1) != 0;
+    }
+    EXPECT_EQ(from_small.eval(assignment), from_big.eval(assignment))
+        << "assignment " << a;
+  }
+  EXPECT_EQ(from_small.sat_count(10), from_big.sat_count(10));
+}
+
+TEST_F(BddTest, ConstrainAgreesOnTheCareSet) {
+  std::mt19937 rng(21);
+  for (int round = 0; round < 40; ++round) {
+    auto random_fn = [&] {
+      Bdd f = m.zero();
+      for (int i = 0; i < 3; ++i) {
+        Bdd cube = m.one();
+        for (std::uint32_t v = 0; v < 6; ++v) {
+          const auto choice = rng() % 3;
+          if (choice == 0) cube &= m.var(v);
+          if (choice == 1) cube &= m.nvar(v);
+        }
+        f |= cube;
+      }
+      return f;
+    };
+    const Bdd f = random_fn();
+    Bdd c = random_fn();
+    if (c.is_false()) c = m.one();
+    // The defining property of the generalized cofactor.
+    EXPECT_EQ(f.constrain(c) & c, f & c);
+    EXPECT_EQ(f.minimize(c) & c, f & c);
+    // minimize never enlarges the support.
+    const auto fs = f.support();
+    for (const std::uint32_t v : f.minimize(c).support()) {
+      EXPECT_TRUE(std::find(fs.begin(), fs.end(), v) != fs.end());
+    }
+  }
+}
+
+TEST_F(BddTest, ConstrainSpecialCases) {
+  const Bdd a = m.var(0);
+  const Bdd b = m.var(1);
+  EXPECT_EQ((a & b).constrain(a), b);  // cofactor by a literal
+  EXPECT_EQ(a.constrain(m.one()), a);
+  EXPECT_EQ(a.constrain(a), m.one());
+  EXPECT_THROW((void)a.constrain(m.zero()), std::invalid_argument);
+  EXPECT_THROW((void)a.minimize(m.zero()), std::invalid_argument);
+}
+
+TEST_F(BddTest, MinimizeShrinksSetsModuloCare) {
+  // A set equal to "care" everywhere on care minimizes to something simple.
+  const Bdd care = m.var(0) & m.var(1);
+  const Bdd messy = (m.var(0) & m.var(1) & m.var(2)) |
+                    (m.var(0) & m.var(1) & !m.var(2) & m.var(3));
+  const Bdd mini = messy.minimize(care | (!m.var(0) & m.var(4)));
+  EXPECT_EQ(mini & care, messy & care);
+  EXPECT_LE(mini.dag_size(), messy.dag_size());
+}
+
+TEST_F(BddTest, ComposeSubstitutes) {
+  const Bdd a = m.var(0);
+  const Bdd b = m.var(1);
+  const Bdd c = m.var(2);
+  const Bdd f = a ^ b;
+  // Substitute b := (a & c):   f[b := a&c] = a ^ (a & c) = a & !c ... check
+  EXPECT_EQ(f.compose(1, a & c), a ^ (a & c));
+  // Substituting a variable not in the support is the identity.
+  EXPECT_EQ(f.compose(5, c), f);
+  // Shannon: f == ite(x, f|x=1, f|x=0) via compose with constants.
+  EXPECT_EQ(f.compose(0, m.one()), f.restrict_var(0, true));
+  EXPECT_EQ(f.compose(0, m.zero()), f.restrict_var(0, false));
+  // Composition may introduce variables ABOVE the substituted one.
+  const Bdd g = m.var(4).compose(4, a | b);
+  EXPECT_EQ(g, a | b);
+}
+
+TEST_F(BddTest, ForEachAssignmentEnumeratesExactly) {
+  const Bdd f = (m.var(0) & m.var(1)) | m.var(2);
+  std::vector<std::vector<bool>> found;
+  m.for_each_assignment(f, {0, 1, 2}, [&](const std::vector<bool>& a) {
+    found.push_back(a);
+  });
+  EXPECT_EQ(found.size(), 5u);  // sat_count over 3 vars
+  for (const auto& a : found) {
+    EXPECT_TRUE((a[0] && a[1]) || a[2]);
+  }
+  // Empty function: no visits; bad var lists throw.
+  m.for_each_assignment(m.zero(), {0}, [&](const std::vector<bool>&) {
+    FAIL() << "zero has no assignments";
+  });
+  EXPECT_THROW(
+      m.for_each_assignment(f, {0, 1}, [](const std::vector<bool>&) {}),
+      std::invalid_argument);
+  EXPECT_THROW(
+      m.for_each_assignment(f, {2, 1, 0}, [](const std::vector<bool>&) {}),
+      std::invalid_argument);
+}
+
+TEST_F(BddTest, ForEachAssignmentCountsFreeVariables) {
+  int count = 0;
+  m.for_each_assignment(m.var(0), {0, 1}, [&](const std::vector<bool>& a) {
+    EXPECT_TRUE(a[0]);
+    ++count;
+  });
+  EXPECT_EQ(count, 2);  // the free variable doubles the count
+}
+
+// ---------------------------------------------------------------------------
+// Property test: random expression DAGs agree with brute-force evaluation.
+// ---------------------------------------------------------------------------
+
+class BddRandomProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(BddRandomProperty, AgreesWithTruthTable) {
+  constexpr std::uint32_t kVars = 5;
+  std::mt19937 rng(GetParam());
+  Manager m(kVars);
+
+  // Build a random expression tree and, in parallel, a closure evaluating
+  // the same expression directly on assignments.
+  struct Node {
+    Bdd f;
+    std::function<bool(unsigned)> eval;
+  };
+  std::vector<Node> pool;
+  for (std::uint32_t v = 0; v < kVars; ++v) {
+    pool.push_back({m.var(v), [v](unsigned a) { return ((a >> v) & 1) != 0; }});
+  }
+  for (int step = 0; step < 30; ++step) {
+    const Node a = pool[rng() % pool.size()];
+    const Node b = pool[rng() % pool.size()];
+    switch (rng() % 5) {
+      case 0:
+        pool.push_back({a.f & b.f, [a, b](unsigned x) {
+                          return a.eval(x) && b.eval(x);
+                        }});
+        break;
+      case 1:
+        pool.push_back({a.f | b.f, [a, b](unsigned x) {
+                          return a.eval(x) || b.eval(x);
+                        }});
+        break;
+      case 2:
+        pool.push_back({a.f ^ b.f, [a, b](unsigned x) {
+                          return a.eval(x) != b.eval(x);
+                        }});
+        break;
+      case 3:
+        pool.push_back({!a.f, [a](unsigned x) { return !a.eval(x); }});
+        break;
+      default: {
+        const Node c = pool[rng() % pool.size()];
+        pool.push_back({m.ite(a.f, b.f, c.f), [a, b, c](unsigned x) {
+                          return a.eval(x) ? b.eval(x) : c.eval(x);
+                        }});
+        break;
+      }
+    }
+  }
+  const Node& last = pool.back();
+  double expected_count = 0;
+  for (unsigned a = 0; a < (1u << kVars); ++a) {
+    std::vector<bool> assignment(kVars);
+    for (std::uint32_t v = 0; v < kVars; ++v) {
+      assignment[v] = ((a >> v) & 1) != 0;
+    }
+    const bool want = last.eval(a);
+    EXPECT_EQ(last.f.eval(assignment), want) << "assignment " << a;
+    if (want) ++expected_count;
+  }
+  EXPECT_EQ(last.f.sat_count(kVars), expected_count);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BddRandomProperty, ::testing::Range(0, 20));
+
+}  // namespace
+}  // namespace symcex::bdd

@@ -1,0 +1,312 @@
+// Tests for the CTL/CTL* AST, parser, printer and normal forms.
+
+#include <algorithm>
+#include <functional>
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "ctl/formula.hpp"
+
+namespace symcex::ctl {
+namespace {
+
+using F = Formula;
+
+TEST(CtlParse, Atoms) {
+  EXPECT_EQ(to_string(parse("req")), "req");
+  EXPECT_EQ(to_string(parse("true")), "true");
+  EXPECT_EQ(to_string(parse("FALSE")), "false");
+  EXPECT_EQ(to_string(parse("a_b.c")), "a_b.c");
+}
+
+TEST(CtlParse, PrecedenceAndAssociativity) {
+  EXPECT_EQ(to_string(parse("a & b | c")), "a & b | c");
+  EXPECT_EQ(to_string(parse("a | b & c")), "a | b & c");
+  EXPECT_EQ(to_string(parse("(a | b) & c")), "(a | b) & c");
+  // "->" is right-associative, so no parentheses are needed to re-parse.
+  EXPECT_EQ(to_string(parse("a -> b -> c")), "a -> b -> c");
+  EXPECT_EQ(parse("a -> b -> c")->rhs()->kind(), Kind::kImplies);
+  EXPECT_EQ(to_string(parse("!a & b")), "!a & b");
+  EXPECT_EQ(to_string(parse("!(a & b)")), "!(a & b)");
+  EXPECT_EQ(parse("a <-> b")->kind(), Kind::kIff);
+  EXPECT_EQ(parse("a xor b")->kind(), Kind::kXor);
+}
+
+TEST(CtlParse, TemporalOperators) {
+  EXPECT_EQ(parse("EX a")->kind(), Kind::kEX);
+  EXPECT_EQ(parse("EF a")->kind(), Kind::kEF);
+  EXPECT_EQ(parse("EG a")->kind(), Kind::kEG);
+  EXPECT_EQ(parse("AX a")->kind(), Kind::kAX);
+  EXPECT_EQ(parse("AF a")->kind(), Kind::kAF);
+  EXPECT_EQ(parse("AG a")->kind(), Kind::kAG);
+  EXPECT_EQ(parse("E [a U b]")->kind(), Kind::kEU);
+  EXPECT_EQ(parse("A [a U b]")->kind(), Kind::kAU);
+  EXPECT_EQ(to_string(parse("AG (a -> AF b)")), "AG (a -> AF b)");
+  EXPECT_EQ(to_string(parse("E [a U b & c]")), "E [a U b & c]");
+}
+
+TEST(CtlParse, QuantifierFolding) {
+  // E applied to a simple path operator folds into the CTL operator.
+  EXPECT_EQ(parse("E X a")->kind(), Kind::kEX);
+  EXPECT_EQ(parse("E G a")->kind(), Kind::kEG);
+  EXPECT_EQ(parse("A F a")->kind(), Kind::kAF);
+  EXPECT_EQ(parse("E (a U b)")->kind(), Kind::kEU);
+  // But a genuine CTL* path formula stays unfolded.
+  EXPECT_EQ(parse("E (G F a)")->kind(), Kind::kE);
+  EXPECT_EQ(parse("E (G F p | F G q)")->kind(), Kind::kE);
+  EXPECT_EQ(parse("A (G F a)")->kind(), Kind::kA);
+}
+
+TEST(CtlParse, UntilIsRightAssociative) {
+  // a U b U c parses as a U (b U c); the nested until is a genuine CTL*
+  // path formula, so the quantifier stays unfolded.
+  const auto f = parse("E (a U b U c)");
+  ASSERT_EQ(f->kind(), Kind::kE);
+  ASSERT_EQ(f->lhs()->kind(), Kind::kU);
+  EXPECT_EQ(f->lhs()->rhs()->kind(), Kind::kU);
+}
+
+TEST(CtlParse, Errors) {
+  EXPECT_THROW((void)parse(""), ParseError);
+  EXPECT_THROW((void)parse("a &"), ParseError);
+  EXPECT_THROW((void)parse("(a"), ParseError);
+  EXPECT_THROW((void)parse("a b"), ParseError);
+  EXPECT_THROW((void)parse("E [a U"), ParseError);
+  EXPECT_THROW((void)parse("@#"), ParseError);
+  EXPECT_THROW((void)parse("a <- b"), ParseError);
+  try {
+    (void)parse("a & & b");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_GT(e.position(), 0u);
+  }
+}
+
+TEST(CtlParse, RoundTripThroughPrinter) {
+  for (const char* text : {
+           "AG (req -> AF ack)",
+           "E [p U q] & EF r",
+           "!AG !(a & b)",
+           "E (G F p | F G q)",
+           "A [p U q | r]",
+           "EF (a & EX (b | EG c))",
+           "a <-> b -> c",
+           "a xor b & c",
+       }) {
+    const auto f = parse(text);
+    const auto g = parse(to_string(f));
+    EXPECT_TRUE(equal(f, g)) << text << " printed as " << to_string(f);
+  }
+}
+
+TEST(CtlClassify, Propositional) {
+  EXPECT_TRUE(is_propositional(parse("a & !b -> c")));
+  EXPECT_FALSE(is_propositional(parse("EX a")));
+  EXPECT_FALSE(is_propositional(parse("a & AG b")));
+}
+
+TEST(CtlClassify, CtlMembership) {
+  EXPECT_TRUE(is_ctl(parse("AG (a -> AF b)")));
+  EXPECT_TRUE(is_ctl(parse("E [a U AX b]")));
+  EXPECT_FALSE(is_ctl(parse("E (G F a)")));
+  EXPECT_FALSE(is_ctl(parse("A (X X a)")));
+}
+
+TEST(CtlEnf, RewritesMatchSection3) {
+  // AX f == !EX !f
+  EXPECT_EQ(to_string(to_existential_normal_form(parse("AX a"))),
+            "!EX !a");
+  // EF f == E[true U f]
+  EXPECT_EQ(to_string(to_existential_normal_form(parse("EF a"))),
+            "E [true U a]");
+  // AF f == !EG !f
+  EXPECT_EQ(to_string(to_existential_normal_form(parse("AF a"))),
+            "!EG !a");
+  // AG f == !E[true U !f]
+  EXPECT_EQ(to_string(to_existential_normal_form(parse("AG a"))),
+            "!E [true U !a]");
+  // A[f U g] == !E[!g U (!f & !g)] & !EG !g
+  EXPECT_EQ(to_string(to_existential_normal_form(parse("A [a U b]"))),
+            "!E [!b U !a & !b] & !EG !b");
+}
+
+TEST(CtlEnf, EliminatesDerivedConnectives) {
+  const auto f = to_existential_normal_form(parse("a -> b"));
+  EXPECT_EQ(to_string(f), "!a | b");
+  const auto g = to_existential_normal_form(parse("a <-> b"));
+  EXPECT_EQ(g->kind(), Kind::kOr);
+}
+
+TEST(CtlEnf, OnlyBaseOperatorsRemain) {
+  std::function<void(const Formula::Ptr&)> check = [&](const Formula::Ptr& f) {
+    switch (f->kind()) {
+      case Kind::kTrue:
+      case Kind::kFalse:
+      case Kind::kAtom:
+      case Kind::kNot:
+      case Kind::kAnd:
+      case Kind::kOr:
+      case Kind::kXor:
+      case Kind::kEX:
+      case Kind::kEU:
+      case Kind::kEG:
+        break;
+      default:
+        FAIL() << "non-base operator survives ENF: " << to_string(f);
+    }
+    if (f->lhs()) check(f->lhs());
+    if (f->rhs()) check(f->rhs());
+  };
+  for (const char* text :
+       {"AG (a -> AF b)", "A [a U b] | EF c", "AX AX a", "AG AF a"}) {
+    check(to_existential_normal_form(parse(text)));
+  }
+}
+
+TEST(CtlEnf, RejectsRawPathFormulas) {
+  EXPECT_THROW((void)to_existential_normal_form(parse("E (G F a)")),
+               std::invalid_argument);
+}
+
+TEST(CtlEqual, StructuralEquality) {
+  EXPECT_TRUE(equal(parse("a & b"), parse("a & b")));
+  EXPECT_FALSE(equal(parse("a & b"), parse("b & a")));
+  EXPECT_FALSE(equal(parse("a"), parse("b")));
+  EXPECT_TRUE(equal(nullptr, nullptr));
+  EXPECT_FALSE(equal(parse("a"), nullptr));
+}
+
+TEST(CtlFactories, BuildersMatchParser) {
+  const auto built = F::AG(F::implies(F::atom("r"), F::AF(F::atom("a"))));
+  EXPECT_TRUE(equal(built, parse("AG (r -> AF a)")));
+}
+
+TEST(CtlUtilities, AtomsSortedAndDeduped) {
+  EXPECT_EQ(atoms(parse("AG (b -> AF a) & EF b")),
+            (std::vector<std::string>{"a", "b"}));
+  EXPECT_TRUE(atoms(parse("true & false")).empty());
+}
+
+TEST(CtlUtilities, SizeAndDepth) {
+  EXPECT_EQ(size(parse("a")), 1u);
+  EXPECT_EQ(size(parse("a & b")), 3u);
+  EXPECT_EQ(temporal_depth(parse("a & b")), 0u);
+  EXPECT_EQ(temporal_depth(parse("AG a")), 1u);
+  EXPECT_EQ(temporal_depth(parse("AG (a -> AF EX b)")), 3u);
+}
+
+TEST(CtlUtilities, Substitute) {
+  const auto f = parse("AG (req -> AF ack)");
+  const auto g = substitute(f, "req", parse("r1 & r2"));
+  EXPECT_TRUE(equal(g, parse("AG ((r1 & r2) -> AF ack)")));
+  // Untouched formulas are shared, not copied.
+  EXPECT_EQ(substitute(f, "nothere", parse("x")), f);
+}
+
+TEST(CtlUtilities, SimplifyFoldsConstants) {
+  auto same = [](const char* in, const char* out) {
+    EXPECT_TRUE(equal(simplify(parse(in)), parse(out)))
+        << in << " simplified to " << to_string(simplify(parse(in)));
+  };
+  same("!!a", "a");
+  same("a & true", "a");
+  same("false | a", "a");
+  same("a & false", "false");
+  same("true -> a", "a");
+  same("false -> a", "true");
+  same("EX false", "false");
+  same("AG true", "true");
+  same("EF false", "false");
+  same("E [a U true]", "true");
+  same("A [a U false]", "false");
+  same("a & a", "a");
+  same("AG (a -> AF (b | false))", "AG (a -> AF b)");
+  // Fixed point: already-simple formulas are returned unchanged (shared).
+  const auto f = parse("AG (a -> AF b)");
+  EXPECT_EQ(simplify(f), f);
+}
+
+// ---------------------------------------------------------------------------
+// Property: printing then reparsing any random CTL formula is the identity,
+// and simplify() preserves the atom set's semantics footprint.
+// ---------------------------------------------------------------------------
+
+namespace prop {
+
+Formula::Ptr random_ctl(std::mt19937& rng, int depth) {
+  using F = Formula;
+  if (depth == 0 || rng() % 4 == 0) {
+    switch (rng() % 5) {
+      case 0:
+        return F::atom("p");
+      case 1:
+        return F::atom("q");
+      case 2:
+        return F::atom("r");
+      case 3:
+        return F::make_true();
+      default:
+        return F::make_false();
+    }
+  }
+  const auto sub = [&] { return random_ctl(rng, depth - 1); };
+  switch (rng() % 14) {
+    case 0:
+      return F::negate(sub());
+    case 1:
+      return F::conj(sub(), sub());
+    case 2:
+      return F::disj(sub(), sub());
+    case 3:
+      return F::implies(sub(), sub());
+    case 4:
+      return F::iff(sub(), sub());
+    case 5:
+      return F::exclusive_or(sub(), sub());
+    case 6:
+      return F::EX(sub());
+    case 7:
+      return F::EF(sub());
+    case 8:
+      return F::EG(sub());
+    case 9:
+      return F::EU(sub(), sub());
+    case 10:
+      return F::AX(sub());
+    case 11:
+      return F::AF(sub());
+    case 12:
+      return F::AG(sub());
+    default:
+      return F::AU(sub(), sub());
+  }
+}
+
+}  // namespace prop
+
+class CtlRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(CtlRoundTrip, PrintParseIsIdentity) {
+  std::mt19937 rng(static_cast<unsigned>(GetParam()) * 131 + 1);
+  for (int round = 0; round < 30; ++round) {
+    const auto f = prop::random_ctl(rng, 4);
+    const std::string text = to_string(f);
+    const auto g = parse(text);
+    EXPECT_TRUE(equal(f, g)) << text << " reparsed as " << to_string(g);
+    // simplify is idempotent.
+    const auto s = simplify(f);
+    EXPECT_TRUE(equal(simplify(s), s)) << text;
+    // simplify never invents atoms.
+    for (const auto& name : atoms(s)) {
+      const auto original = atoms(f);
+      EXPECT_TRUE(std::find(original.begin(), original.end(), name) !=
+                  original.end());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CtlRoundTrip, ::testing::Range(0, 10));
+
+}  // namespace
+}  // namespace symcex::ctl

@@ -1,0 +1,172 @@
+// Tests for explicit-graph witness generation (the EMC-style counterpart
+// of Section 6), cross-checked against the graph structure and, on random
+// models, against the symbolic verdicts.
+
+#include <gtest/gtest.h>
+
+#include "core/checker.hpp"
+#include "explicit/explicit_checker.hpp"
+#include "explicit/explicit_graph.hpp"
+#include "models/models.hpp"
+#include "test_util.hpp"
+
+namespace symcex::enumerative {
+namespace {
+
+/// Validity of an explicit witness against its graph.
+void expect_valid(const FiniteWitness& w, const Graph& g) {
+  const auto has_edge = [&](StateId a, StateId b) {
+    for (const StateId v : g.succ[a]) {
+      if (v == b) return true;
+    }
+    return false;
+  };
+  std::vector<StateId> all = w.prefix;
+  all.insert(all.end(), w.cycle.begin(), w.cycle.end());
+  ASSERT_FALSE(all.empty());
+  for (std::size_t i = 1; i < all.size(); ++i) {
+    EXPECT_TRUE(has_edge(all[i - 1], all[i])) << "step " << i;
+  }
+  if (!w.cycle.empty()) {
+    EXPECT_TRUE(has_edge(w.cycle.back(), w.cycle.front()));
+  }
+}
+
+TEST(ExplicitEuWitness, ShortestPath) {
+  // 0 -> 1 -> 2 -> 3 and shortcut 0 -> 3.
+  Graph g;
+  for (int i = 0; i < 4; ++i) g.add_state();
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 3);
+  g.add_edge(0, 3);
+  const StateSet all(4, true);
+  StateSet target(4, false);
+  target[3] = true;
+  const auto w = eu_witness(g, 0, all, target);
+  ASSERT_TRUE(w.has_value());
+  EXPECT_EQ(w->prefix, (std::vector<StateId>{0, 3}));
+  expect_valid(*w, g);
+}
+
+TEST(ExplicitEuWitness, RespectsTheInvariant) {
+  // The short route passes through a forbidden state.
+  Graph g;
+  for (int i = 0; i < 5; ++i) g.add_state();
+  g.add_edge(0, 1);  // forbidden
+  g.add_edge(1, 4);
+  g.add_edge(0, 2);
+  g.add_edge(2, 3);
+  g.add_edge(3, 4);
+  StateSet f{true, false, true, true, true};
+  StateSet target(5, false);
+  target[4] = true;
+  const auto w = eu_witness(g, 0, f, target);
+  ASSERT_TRUE(w.has_value());
+  EXPECT_EQ(w->prefix, (std::vector<StateId>{0, 2, 3, 4}));
+}
+
+TEST(ExplicitEuWitness, EndpointNeedsOnlyG) {
+  Graph g;
+  for (int i = 0; i < 2; ++i) g.add_state();
+  g.add_edge(0, 1);
+  StateSet f{true, false};  // 1 violates f
+  StateSet target{false, true};
+  const auto w = eu_witness(g, 0, f, target);
+  ASSERT_TRUE(w.has_value());
+  EXPECT_EQ(w->prefix.size(), 2u);
+}
+
+TEST(ExplicitEuWitness, FailureCases) {
+  Graph g;
+  for (int i = 0; i < 3; ++i) g.add_state();
+  g.add_edge(0, 1);
+  const StateSet all(3, true);
+  StateSet target(3, false);
+  target[2] = true;  // unreachable
+  EXPECT_EQ(eu_witness(g, 0, all, target), std::nullopt);
+  StateSet not_start{false, true, true};
+  EXPECT_EQ(eu_witness(g, 0, not_start, target), std::nullopt);
+}
+
+TEST(ExplicitEgWitness, FairLassoVisitsAllConstraints) {
+  // Ring 0..3 with fairness on 1 and 3; start outside the ring at 4 -> 0.
+  Graph g;
+  for (int i = 0; i < 5; ++i) g.add_state();
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 3);
+  g.add_edge(3, 0);
+  g.add_edge(4, 0);
+  g.fairness.push_back({false, true, false, false, false});
+  g.fairness.push_back({false, false, false, true, false});
+  const StateSet all(5, true);
+  const auto w = eg_witness(g, 4, all);
+  ASSERT_TRUE(w.has_value());
+  expect_valid(*w, g);
+  for (const auto& fair_set : g.fairness) {
+    bool visited = false;
+    for (const StateId s : w->cycle) visited |= fair_set[s];
+    EXPECT_TRUE(visited);
+  }
+  EXPECT_EQ(w->prefix, (std::vector<StateId>{4}));
+}
+
+TEST(ExplicitEgWitness, SelfLoopLasso) {
+  Graph g;
+  g.add_state();
+  g.add_edge(0, 0);
+  const auto w = eg_witness(g, 0, StateSet{true});
+  ASSERT_TRUE(w.has_value());
+  EXPECT_TRUE(w->prefix.empty());
+  EXPECT_EQ(w->cycle, (std::vector<StateId>{0}));
+}
+
+TEST(ExplicitEgWitness, RespectsInvariantAndFails) {
+  Graph g;
+  for (int i = 0; i < 2; ++i) g.add_state();
+  g.add_edge(0, 1);
+  g.add_edge(1, 1);
+  // EG f with f excluding the only cycle state: no witness.
+  EXPECT_EQ(eg_witness(g, 0, StateSet{true, false}), std::nullopt);
+  // Unsatisfiable fairness: no witness either.
+  Graph g2 = g;
+  g2.fairness.push_back({true, false});
+  EXPECT_EQ(eg_witness(g2, 0, StateSet{true, true}), std::nullopt);
+}
+
+TEST(ExplicitEgWitness, AgreesWithSymbolicOnRandomModels) {
+  for (unsigned seed = 0; seed < 12; ++seed) {
+    auto m = symcex::test::random_ts(
+        seed, {.num_vars = 3, .num_fairness = seed % 3});
+    core::Checker ck(*m);
+    const Enumerated e = enumerate(*m, 1u << 10);
+    std::mt19937 rng(seed + 77);
+    for (int round = 0; round < 4; ++round) {
+      const bdd::Bdd fp = symcex::test::random_predicate(*m, rng);
+      StateSet f(e.graph.num_states());
+      for (StateId i = 0; i < f.size(); ++i) {
+        f[i] = e.concrete[i].intersects(fp);
+      }
+      const bdd::Bdd eg_set = ck.eg(fp);
+      for (const StateId start : e.graph.init) {
+        const bool sym = e.concrete[start].intersects(eg_set);
+        const auto w = eg_witness(e.graph, start, f);
+        EXPECT_EQ(w.has_value(), sym) << "seed " << seed;
+        if (w.has_value()) {
+          expect_valid(*w, e.graph);
+          for (const StateId s : w->prefix) EXPECT_TRUE(f[s]);
+          for (const StateId s : w->cycle) EXPECT_TRUE(f[s]);
+          for (const auto& fair_set : e.graph.fairness) {
+            bool visited = false;
+            for (const StateId s : w->cycle) visited |= fair_set[s];
+            EXPECT_TRUE(visited) << "seed " << seed;
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace symcex::enumerative

@@ -1,0 +1,142 @@
+// Semantic property tests: the fixpoint characterisations of Section 4,
+// the Section 3 dualities, and the image/preimage adjunction, all checked
+// as state-set identities on random transition systems.  These pin the
+// checker to the paper's definitions independently of the explicit-state
+// oracle.
+
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "core/checker.hpp"
+#include "test_util.hpp"
+
+namespace symcex::core {
+namespace {
+
+class LawsTest : public ::testing::TestWithParam<int> {
+ protected:
+  void SetUp() override {
+    const auto seed = static_cast<unsigned>(GetParam());
+    model_ = test::random_ts(seed, {.num_vars = 4,
+                                    .num_fairness = seed % 3});
+    checker_ = std::make_unique<Checker>(*model_);
+    rng_.seed(seed * 7919 + 3);
+  }
+
+  bdd::Bdd pred() { return test::random_predicate(*model_, rng_); }
+
+  std::unique_ptr<ts::TransitionSystem> model_;
+  std::unique_ptr<Checker> checker_;
+  std::mt19937 rng_;
+};
+
+TEST_P(LawsTest, ExpansionLawEU) {
+  // E[f U g] = g | (f & EX E[f U g])   (raw operators; Section 4)
+  for (int i = 0; i < 5; ++i) {
+    const bdd::Bdd f = pred();
+    const bdd::Bdd g = pred();
+    const bdd::Bdd eu = checker_->eu_raw(f, g);
+    EXPECT_EQ(eu, g | (f & checker_->ex_raw(eu)));
+  }
+}
+
+TEST_P(LawsTest, ExpansionLawEG) {
+  // EG f = f & EX EG f
+  for (int i = 0; i < 5; ++i) {
+    const bdd::Bdd f = pred();
+    const bdd::Bdd eg = checker_->eg_raw(f);
+    EXPECT_EQ(eg, f & checker_->ex_raw(eg));
+  }
+}
+
+TEST_P(LawsTest, FixpointExtremality) {
+  // EG f is the GREATEST fixpoint: it contains every other set Z with
+  // Z = f & EX Z that we can construct; E[f U g] is the LEAST: it is
+  // contained in every superset closed under the expansion.
+  const bdd::Bdd f = pred();
+  const bdd::Bdd g = pred();
+  const bdd::Bdd eg = checker_->eg_raw(f);
+  // Any post-fixpoint Z <= f & EX Z sits below the gfp.  Build one by
+  // iterating the functional from a random start until it stabilises
+  // below itself.
+  bdd::Bdd z = f & pred();
+  for (int i = 0; i < 20; ++i) z &= f & checker_->ex_raw(z);
+  EXPECT_TRUE(z.implies(eg));
+  // Dually a pre-fixpoint above E[f U g].
+  bdd::Bdd y = g | pred();
+  for (int i = 0; i < 20; ++i) y |= g | (f & checker_->ex_raw(y));
+  EXPECT_TRUE(checker_->eu_raw(f, g).implies(y));
+}
+
+TEST_P(LawsTest, Section3Dualities) {
+  const auto check = [&](const char* a, const char* b) {
+    EXPECT_EQ(checker_->states(ctl::parse(a)), checker_->states(ctl::parse(b)))
+        << a << " vs " << b;
+  };
+  check("AX p", "!EX !p");
+  check("EF p", "E [true U p]");
+  check("AF p", "!EG !p");
+  check("AG p", "!EF !p");
+  check("A [p U q]", "!E [!q U (!p & !q)] & !EG !q");
+  check("AG (p -> q)", "!EF (p & !q)");
+}
+
+TEST_P(LawsTest, FairnessMonotonicity) {
+  // Fair EG refines raw EG, fair states are exactly fair-EG(true), and
+  // every fair-EX target set lies within the fair states' preimage.
+  const bdd::Bdd f = pred();
+  EXPECT_TRUE(checker_->eg(f).implies(checker_->eg_raw(f)));
+  EXPECT_EQ(checker_->fair_states(), checker_->eg(model_->manager().one()));
+  EXPECT_TRUE(checker_->ex(f).implies(
+      checker_->ex_raw(checker_->fair_states())));
+}
+
+TEST_P(LawsTest, EuRingsConvergeToTheFixpoint) {
+  const bdd::Bdd f = pred();
+  const bdd::Bdd g = pred();
+  const auto rings = checker_->eu_rings(f, g);
+  ASSERT_FALSE(rings.empty());
+  EXPECT_EQ(rings.front(), g);
+  EXPECT_EQ(rings.back(), checker_->eu_raw(f, g));
+  for (std::size_t i = 1; i < rings.size(); ++i) {
+    EXPECT_TRUE(rings[i - 1].implies(rings[i]));
+    // Ring i adds exactly the states one EX-step from ring i-1 (within f).
+    EXPECT_EQ(rings[i], g | (f & checker_->ex_raw(rings[i - 1])));
+  }
+}
+
+TEST_P(LawsTest, ImagePreimageAdjunction) {
+  // image(S) intersects T  iff  S intersects preimage(T).
+  for (int i = 0; i < 8; ++i) {
+    const bdd::Bdd s = pred();
+    const bdd::Bdd t = pred();
+    EXPECT_EQ(model_->image(s).intersects(t),
+              s.intersects(model_->preimage(t)));
+  }
+}
+
+TEST_P(LawsTest, ImageMonotoneAndAdditive) {
+  const bdd::Bdd s = pred();
+  const bdd::Bdd t = pred();
+  EXPECT_EQ(model_->image(s | t), model_->image(s) | model_->image(t));
+  EXPECT_TRUE(model_->image(s & t).implies(model_->image(s)));
+  EXPECT_EQ(model_->preimage(s | t),
+            model_->preimage(s) | model_->preimage(t));
+}
+
+TEST_P(LawsTest, FairEgIsAFixpointOfTheSection5Functional) {
+  if (model_->fairness().empty()) return;
+  const bdd::Bdd f = pred();
+  const bdd::Bdd z = checker_->eg(f);
+  bdd::Bdd applied = f;
+  for (const auto& h : model_->fairness()) {
+    applied &= checker_->ex_raw(checker_->eu_raw(f, z & h));
+  }
+  EXPECT_EQ(z, applied);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LawsTest, ::testing::Range(0, 15));
+
+}  // namespace
+}  // namespace symcex::core

@@ -1,0 +1,265 @@
+// Tests for Rabin / Muller automata and mixed-type language containment
+// (Section 8's closing remark), with exact accepts_lasso cross-validation.
+
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "automata/from_ts.hpp"
+#include "automata/omega.hpp"
+#include "models/models.hpp"
+
+namespace symcex::automata {
+namespace {
+
+/// Deterministic complete two-state automaton over {a, b}: the state is
+/// the last symbol read (0 after a, 1 after b).
+template <typename Automaton>
+Automaton tracker() {
+  Automaton m(2, 2, 0);
+  m.add_transition(0, 0, 0);
+  m.add_transition(0, 1, 1);
+  m.add_transition(1, 0, 0);
+  m.add_transition(1, 1, 1);
+  return m;
+}
+
+TEST(Rabin, AcceptsLassoSemantics) {
+  // Pair (E={1}, F={0}): eventually no b's at all (inf avoids "after-b")
+  // and a's recur.
+  RabinAutomaton m = tracker<RabinAutomaton>();
+  m.add_pair({1}, {0});
+  EXPECT_TRUE(m.accepts_lasso({}, {0}));        // a^w
+  EXPECT_TRUE(m.accepts_lasso({1, 1}, {0}));    // bba^w
+  EXPECT_FALSE(m.accepts_lasso({}, {0, 1}));    // (ab)^w keeps visiting 1
+  EXPECT_FALSE(m.accepts_lasso({}, {1}));       // b^w
+}
+
+TEST(Rabin, MultiplePairsAreDisjunctive) {
+  RabinAutomaton m = tracker<RabinAutomaton>();
+  m.add_pair({1}, {0});  // eventually only a's
+  m.add_pair({0}, {1});  // or eventually only b's
+  EXPECT_TRUE(m.accepts_lasso({}, {0}));
+  EXPECT_TRUE(m.accepts_lasso({}, {1}));
+  EXPECT_FALSE(m.accepts_lasso({}, {0, 1}));
+}
+
+TEST(Rabin, EmptyAcceptanceRejectsEverything) {
+  const RabinAutomaton m = tracker<RabinAutomaton>();
+  EXPECT_FALSE(m.accepts_lasso({}, {0}));
+}
+
+TEST(Rabin, CompleteAddsRejectingSink) {
+  RabinAutomaton m(2, 2, 0);
+  m.add_transition(0, 0, 1);
+  m.add_transition(1, 0, 0);
+  m.add_pair({}, {0});
+  m.complete();
+  EXPECT_TRUE(m.is_complete());
+  EXPECT_TRUE(m.accepts_lasso({}, {0, 0}));  // aa keeps cycling 0,1
+  EXPECT_FALSE(m.accepts_lasso({}, {1}));    // b falls into the sink
+}
+
+TEST(Muller, ExactInfSetSemantics) {
+  MullerAutomaton m = tracker<MullerAutomaton>();
+  m.add_set({0, 1});  // inf must be exactly both states
+  EXPECT_TRUE(m.accepts_lasso({}, {0, 1}));   // (ab)^w
+  EXPECT_FALSE(m.accepts_lasso({}, {0}));     // a^w: inf = {0} only
+  EXPECT_FALSE(m.accepts_lasso({}, {1}));
+  m.add_set({0});
+  EXPECT_TRUE(m.accepts_lasso({}, {0}));
+  EXPECT_TRUE(m.accepts_lasso({1, 1}, {0}));  // prefix does not matter
+}
+
+TEST(Muller, RejectsBadSets) {
+  MullerAutomaton m = tracker<MullerAutomaton>();
+  EXPECT_THROW(m.add_set({}), std::invalid_argument);
+  EXPECT_THROW(m.add_set({7}), std::invalid_argument);
+}
+
+TEST(MixedContainment, StreettSysRabinSpec) {
+  // sys: all words; spec (Rabin): eventually only a's.
+  StreettAutomaton sys = tracker<StreettAutomaton>();
+  RabinAutomaton spec = tracker<RabinAutomaton>();
+  spec.add_pair({1}, {0});
+  const auto result = check_containment(sys, spec);
+  ASSERT_FALSE(result.contained);
+  ASSERT_TRUE(result.counterexample.has_value());
+  const auto& w = *result.counterexample;
+  EXPECT_TRUE(sys.accepts_lasso(w.word_prefix, w.word_cycle));
+  EXPECT_FALSE(spec.accepts_lasso(w.word_prefix, w.word_cycle));
+
+  // A system that itself eventually only emits a's is contained.
+  StreettAutomaton good(2, 2, 0);
+  good.add_transition(0, 1, 0);  // b's for a while
+  good.add_transition(0, 0, 1);  // then switch
+  good.add_transition(1, 0, 1);  // a's forever
+  good.add_pair({1}, {});        // inf within the a-loop
+  EXPECT_TRUE(check_containment(good, spec).contained);
+}
+
+TEST(MixedContainment, RabinSysStreettSpec) {
+  // sys (Rabin): eventually only a's; spec (Streett/Buchi): infinitely
+  // many a's.  Contained (FG a implies GF a).
+  RabinAutomaton sys = tracker<RabinAutomaton>();
+  sys.add_pair({1}, {0});
+  StreettAutomaton spec = tracker<StreettAutomaton>();
+  spec.add_pair({}, {0});
+  EXPECT_TRUE(check_containment(sys, spec).contained);
+
+  // Reverse direction fails: GF a does not imply FG a.
+  RabinAutomaton sys2 = tracker<RabinAutomaton>();
+  sys2.add_pair({}, {0});  // inf avoids nothing, visits 0: GF a
+  RabinAutomaton spec2 = tracker<RabinAutomaton>();
+  spec2.add_pair({1}, {0});  // FG a
+  const auto result = check_containment(sys2, spec2);
+  ASSERT_FALSE(result.contained);
+  const auto& w = *result.counterexample;
+  EXPECT_TRUE(sys2.accepts_lasso(w.word_prefix, w.word_cycle));
+  EXPECT_FALSE(spec2.accepts_lasso(w.word_prefix, w.word_cycle));
+}
+
+TEST(MixedContainment, MullerSpec) {
+  // sys: all words; spec (Muller): inf is exactly {0} or exactly {1}
+  // (eventually one letter repeats forever).
+  StreettAutomaton sys = tracker<StreettAutomaton>();
+  MullerAutomaton spec = tracker<MullerAutomaton>();
+  spec.add_set({0});
+  spec.add_set({1});
+  const auto result = check_containment(sys, spec);
+  ASSERT_FALSE(result.contained);
+  const auto& w = *result.counterexample;
+  EXPECT_TRUE(sys.accepts_lasso(w.word_prefix, w.word_cycle));
+  EXPECT_FALSE(spec.accepts_lasso(w.word_prefix, w.word_cycle));
+
+  // Restricting the system to a^w-like behaviour makes it contained.
+  StreettAutomaton good(1, 2, 0);
+  good.add_transition(0, 0, 0);
+  EXPECT_TRUE(check_containment(good, spec).contained);
+}
+
+TEST(MixedContainment, MullerSys) {
+  // sys (Muller): alternation only (inf exactly {0,1} with both letters);
+  // spec: infinitely many a's.  Contained.
+  MullerAutomaton sys = tracker<MullerAutomaton>();
+  sys.add_set({0, 1});
+  StreettAutomaton spec = tracker<StreettAutomaton>();
+  spec.add_pair({}, {0});
+  EXPECT_TRUE(check_containment(sys, spec).contained);
+
+  // Against "eventually only a's" it fails.
+  StreettAutomaton spec2 = tracker<StreettAutomaton>();
+  spec2.add_pair({0}, {});
+  const auto result = check_containment(sys, spec2);
+  ASSERT_FALSE(result.contained);
+  const auto& w = *result.counterexample;
+  EXPECT_TRUE(sys.accepts_lasso(w.word_prefix, w.word_cycle));
+  EXPECT_FALSE(spec2.accepts_lasso(w.word_prefix, w.word_cycle));
+}
+
+TEST(MixedContainment, RabinRabinRandomProperty) {
+  std::mt19937 rng(7);
+  for (int round = 0; round < 15; ++round) {
+    const std::uint32_t n = 2 + rng() % 2;
+    RabinAutomaton sys(n, 2, 0);
+    for (AState s = 0; s < n; ++s) {
+      for (Symbol a = 0; a < 2; ++a) {
+        sys.add_transition(s, a, rng() % n);
+        if (rng() % 2 == 0) sys.add_transition(s, a, rng() % n);
+      }
+    }
+    sys.add_pair({}, {static_cast<AState>(rng() % n)});
+    RabinAutomaton spec(2, 2, 0);
+    for (AState s = 0; s < 2; ++s) {
+      for (Symbol a = 0; a < 2; ++a) spec.add_transition(s, a, rng() % 2);
+    }
+    spec.add_pair({static_cast<AState>(rng() % 2)},
+                  {static_cast<AState>(rng() % 2)});
+    const auto result = check_containment(sys, spec);
+    if (!result.contained) {
+      ASSERT_TRUE(result.counterexample.has_value()) << "round " << round;
+      const auto& w = *result.counterexample;
+      EXPECT_TRUE(sys.accepts_lasso(w.word_prefix, w.word_cycle))
+          << "round " << round;
+      EXPECT_FALSE(spec.accepts_lasso(w.word_prefix, w.word_cycle))
+          << "round " << round;
+    } else {
+      for (int probe = 0; probe < 10; ++probe) {
+        std::vector<Symbol> prefix(rng() % 2);
+        std::vector<Symbol> cycle(1 + rng() % 3);
+        for (auto& s : prefix) s = rng() % 2;
+        for (auto& s : cycle) s = rng() % 2;
+        if (sys.accepts_lasso(prefix, cycle)) {
+          EXPECT_TRUE(spec.accepts_lasso(prefix, cycle)) << "round " << round;
+        }
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Transition system -> automaton bridge (checking a model against a spec
+// automaton, the Section 8 workflow end to end).
+// ---------------------------------------------------------------------------
+
+TEST(FromTs, CounterEmitsItsLabelTrace) {
+  auto m = models::counter({.width = 2});
+  const TsToAutomaton bridge = to_streett(*m, {"zero", "max"});
+  EXPECT_EQ(bridge.automaton.num_states, 5u);  // 4 states + fresh initial
+  EXPECT_EQ(bridge.automaton.num_symbols, 4u);
+  EXPECT_EQ(bridge.symbol_name(0b01), "{zero, !max}");
+  // The counter's unique run: zero, -, -, max, zero, ...
+  // Emitted word (valuations of the target states, then looping):
+  //   {zero} {} {} {max} {zero} {} {} {max} ...
+  EXPECT_TRUE(bridge.automaton.accepts_lasso({0b01}, {0b00, 0b00, 0b10, 0b01}));
+  // A word claiming max right after zero is not a run.
+  EXPECT_FALSE(bridge.automaton.accepts_lasso({0b01}, {0b10, 0b00, 0b00, 0b01}));
+}
+
+TEST(FromTs, FairnessBecomesStreettPairs) {
+  auto m = models::counter({.width = 2, .stutter = true,
+                            .fair_ticking = true});
+  const TsToAutomaton bridge = to_streett(*m, {"ticked"});
+  ASSERT_EQ(bridge.automaton.acceptance.size(), 1u);
+  // A forever-stuttering word is rejected (fairness demands ticking).
+  EXPECT_FALSE(bridge.automaton.accepts_lasso({}, {0b0}));
+  // Ticking forever is accepted (the first symbol is the initial state's
+  // valuation, where ticked is still low).
+  EXPECT_TRUE(bridge.automaton.accepts_lasso({0b0}, {0b1}));
+}
+
+TEST(FromTs, ModelAgainstSpecAutomaton) {
+  // The stuttering counter WITHOUT fair ticking violates "ticks recur";
+  // with fair ticking it satisfies the same specification.  The spec is a
+  // two-state deterministic automaton tracking the last symbol.
+  StreettAutomaton spec2(2, 2, 0);
+  spec2.add_transition(0, 0, 0);
+  spec2.add_transition(0, 1, 1);
+  spec2.add_transition(1, 0, 0);
+  spec2.add_transition(1, 1, 1);
+  spec2.add_pair({}, {1});  // the "just ticked" state recurs
+
+  auto lazy = models::counter({.width = 2, .stutter = true});
+  const auto sys = to_streett(*lazy, {"ticked"});
+  const auto result = check_containment(sys.automaton, spec2);
+  ASSERT_FALSE(result.contained);
+  ASSERT_TRUE(result.counterexample.has_value());
+  EXPECT_TRUE(sys.automaton.accepts_lasso(
+      result.counterexample->word_prefix, result.counterexample->word_cycle));
+
+  auto eager = models::counter({.width = 2, .stutter = true,
+                                .fair_ticking = true});
+  const auto sys2 = to_streett(*eager, {"ticked"});
+  EXPECT_TRUE(check_containment(sys2.automaton, spec2).contained);
+}
+
+TEST(FromTs, Validation) {
+  auto m = models::counter({.width = 2});
+  EXPECT_THROW((void)to_streett(*m, {}), std::invalid_argument);
+  EXPECT_THROW((void)to_streett(*m, {"nope"}), std::invalid_argument);
+  auto big = models::counter({.width = 8});
+  EXPECT_THROW((void)to_streett(*big, {"zero"}, 10), std::length_error);
+}
+
+}  // namespace
+}  // namespace symcex::automata
