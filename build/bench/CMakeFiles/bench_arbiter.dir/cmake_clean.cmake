@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_arbiter.dir/bench_arbiter.cpp.o"
+  "CMakeFiles/bench_arbiter.dir/bench_arbiter.cpp.o.d"
+  "bench_arbiter"
+  "bench_arbiter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_arbiter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_bdd.dir/bench_bdd.cpp.o"
+  "CMakeFiles/bench_bdd.dir/bench_bdd.cpp.o.d"
+  "bench_bdd"
+  "bench_bdd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_bdd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

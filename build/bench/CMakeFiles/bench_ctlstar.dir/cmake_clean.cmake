@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ctlstar.dir/bench_ctlstar.cpp.o"
+  "CMakeFiles/bench_ctlstar.dir/bench_ctlstar.cpp.o.d"
+  "bench_ctlstar"
+  "bench_ctlstar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ctlstar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

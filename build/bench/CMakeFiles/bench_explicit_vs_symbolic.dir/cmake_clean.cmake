@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_explicit_vs_symbolic.dir/bench_explicit_vs_symbolic.cpp.o"
+  "CMakeFiles/bench_explicit_vs_symbolic.dir/bench_explicit_vs_symbolic.cpp.o.d"
+  "bench_explicit_vs_symbolic"
+  "bench_explicit_vs_symbolic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_explicit_vs_symbolic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

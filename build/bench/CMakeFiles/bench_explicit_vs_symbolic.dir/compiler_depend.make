@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_explicit_vs_symbolic.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_explicit_vs_symbolic.
+# This may be replaced when dependencies are built.

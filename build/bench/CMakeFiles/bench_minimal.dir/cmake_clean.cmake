@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_minimal.dir/bench_minimal.cpp.o"
+  "CMakeFiles/bench_minimal.dir/bench_minimal.cpp.o.d"
+  "bench_minimal"
+  "bench_minimal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_minimal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

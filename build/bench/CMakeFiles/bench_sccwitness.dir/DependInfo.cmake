@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_sccwitness.cpp" "bench/CMakeFiles/bench_sccwitness.dir/bench_sccwitness.cpp.o" "gcc" "bench/CMakeFiles/bench_sccwitness.dir/bench_sccwitness.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/symcex_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/ctlstar/CMakeFiles/symcex_ctlstar.dir/DependInfo.cmake"
+  "/root/repo/build/src/automata/CMakeFiles/symcex_automata.dir/DependInfo.cmake"
+  "/root/repo/build/src/explicit/CMakeFiles/symcex_explicit.dir/DependInfo.cmake"
+  "/root/repo/build/src/smv/CMakeFiles/symcex_smv.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/symcex_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/ctl/CMakeFiles/symcex_ctl.dir/DependInfo.cmake"
+  "/root/repo/build/src/ts/CMakeFiles/symcex_ts.dir/DependInfo.cmake"
+  "/root/repo/build/src/bdd/CMakeFiles/symcex_bdd.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

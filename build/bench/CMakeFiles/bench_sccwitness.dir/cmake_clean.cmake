@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sccwitness.dir/bench_sccwitness.cpp.o"
+  "CMakeFiles/bench_sccwitness.dir/bench_sccwitness.cpp.o.d"
+  "bench_sccwitness"
+  "bench_sccwitness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sccwitness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

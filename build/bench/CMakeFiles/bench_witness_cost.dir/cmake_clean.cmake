@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_witness_cost.dir/bench_witness_cost.cpp.o"
+  "CMakeFiles/bench_witness_cost.dir/bench_witness_cost.cpp.o.d"
+  "bench_witness_cost"
+  "bench_witness_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_witness_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arbiter_debugging.dir/arbiter_debugging.cpp.o"
+  "CMakeFiles/arbiter_debugging.dir/arbiter_debugging.cpp.o.d"
+  "arbiter_debugging"
+  "arbiter_debugging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arbiter_debugging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for arbiter_debugging.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for arbiter_debugging.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/explore_traces.dir/explore_traces.cpp.o"
+  "CMakeFiles/explore_traces.dir/explore_traces.cpp.o.d"
+  "explore_traces"
+  "explore_traces.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/explore_traces.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

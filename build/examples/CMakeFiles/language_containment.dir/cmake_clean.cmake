@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/language_containment.dir/language_containment.cpp.o"
+  "CMakeFiles/language_containment.dir/language_containment.cpp.o.d"
+  "language_containment"
+  "language_containment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/language_containment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for language_containment.
+# This may be replaced when dependencies are built.

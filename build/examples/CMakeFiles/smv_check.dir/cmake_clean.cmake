@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smv_check.dir/smv_check.cpp.o"
+  "CMakeFiles/smv_check.dir/smv_check.cpp.o.d"
+  "smv_check"
+  "smv_check.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smv_check.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

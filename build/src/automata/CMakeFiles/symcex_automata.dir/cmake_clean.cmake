@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/symcex_automata.dir/automaton.cpp.o"
+  "CMakeFiles/symcex_automata.dir/automaton.cpp.o.d"
+  "CMakeFiles/symcex_automata.dir/containment.cpp.o"
+  "CMakeFiles/symcex_automata.dir/containment.cpp.o.d"
+  "CMakeFiles/symcex_automata.dir/from_ts.cpp.o"
+  "CMakeFiles/symcex_automata.dir/from_ts.cpp.o.d"
+  "CMakeFiles/symcex_automata.dir/omega.cpp.o"
+  "CMakeFiles/symcex_automata.dir/omega.cpp.o.d"
+  "CMakeFiles/symcex_automata.dir/streett.cpp.o"
+  "CMakeFiles/symcex_automata.dir/streett.cpp.o.d"
+  "libsymcex_automata.a"
+  "libsymcex_automata.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/symcex_automata.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for symcex_automata.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/symcex_bdd.dir/bdd.cpp.o"
+  "CMakeFiles/symcex_bdd.dir/bdd.cpp.o.d"
+  "libsymcex_bdd.a"
+  "libsymcex_bdd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/symcex_bdd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

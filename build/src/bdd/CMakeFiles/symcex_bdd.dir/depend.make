@@ -1,0 +1,2 @@
+# Empty dependencies file for symcex_bdd.
+# This may be replaced when dependencies are built.

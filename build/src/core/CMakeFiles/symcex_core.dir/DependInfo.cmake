@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/checker.cpp" "src/core/CMakeFiles/symcex_core.dir/checker.cpp.o" "gcc" "src/core/CMakeFiles/symcex_core.dir/checker.cpp.o.d"
+  "/root/repo/src/core/explain.cpp" "src/core/CMakeFiles/symcex_core.dir/explain.cpp.o" "gcc" "src/core/CMakeFiles/symcex_core.dir/explain.cpp.o.d"
+  "/root/repo/src/core/invariant.cpp" "src/core/CMakeFiles/symcex_core.dir/invariant.cpp.o" "gcc" "src/core/CMakeFiles/symcex_core.dir/invariant.cpp.o.d"
+  "/root/repo/src/core/trace.cpp" "src/core/CMakeFiles/symcex_core.dir/trace.cpp.o" "gcc" "src/core/CMakeFiles/symcex_core.dir/trace.cpp.o.d"
+  "/root/repo/src/core/trace_util.cpp" "src/core/CMakeFiles/symcex_core.dir/trace_util.cpp.o" "gcc" "src/core/CMakeFiles/symcex_core.dir/trace_util.cpp.o.d"
+  "/root/repo/src/core/witness.cpp" "src/core/CMakeFiles/symcex_core.dir/witness.cpp.o" "gcc" "src/core/CMakeFiles/symcex_core.dir/witness.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bdd/CMakeFiles/symcex_bdd.dir/DependInfo.cmake"
+  "/root/repo/build/src/ts/CMakeFiles/symcex_ts.dir/DependInfo.cmake"
+  "/root/repo/build/src/ctl/CMakeFiles/symcex_ctl.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

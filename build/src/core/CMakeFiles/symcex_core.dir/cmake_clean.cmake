@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/symcex_core.dir/checker.cpp.o"
+  "CMakeFiles/symcex_core.dir/checker.cpp.o.d"
+  "CMakeFiles/symcex_core.dir/explain.cpp.o"
+  "CMakeFiles/symcex_core.dir/explain.cpp.o.d"
+  "CMakeFiles/symcex_core.dir/invariant.cpp.o"
+  "CMakeFiles/symcex_core.dir/invariant.cpp.o.d"
+  "CMakeFiles/symcex_core.dir/trace.cpp.o"
+  "CMakeFiles/symcex_core.dir/trace.cpp.o.d"
+  "CMakeFiles/symcex_core.dir/trace_util.cpp.o"
+  "CMakeFiles/symcex_core.dir/trace_util.cpp.o.d"
+  "CMakeFiles/symcex_core.dir/witness.cpp.o"
+  "CMakeFiles/symcex_core.dir/witness.cpp.o.d"
+  "libsymcex_core.a"
+  "libsymcex_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/symcex_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/symcex_ctl.dir/formula.cpp.o"
+  "CMakeFiles/symcex_ctl.dir/formula.cpp.o.d"
+  "CMakeFiles/symcex_ctl.dir/parser.cpp.o"
+  "CMakeFiles/symcex_ctl.dir/parser.cpp.o.d"
+  "libsymcex_ctl.a"
+  "libsymcex_ctl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/symcex_ctl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

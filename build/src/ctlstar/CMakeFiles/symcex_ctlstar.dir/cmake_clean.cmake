@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/symcex_ctlstar.dir/star_checker.cpp.o"
+  "CMakeFiles/symcex_ctlstar.dir/star_checker.cpp.o.d"
+  "libsymcex_ctlstar.a"
+  "libsymcex_ctlstar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/symcex_ctlstar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

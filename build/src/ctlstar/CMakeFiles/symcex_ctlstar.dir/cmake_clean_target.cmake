@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsymcex_ctlstar.a"
+)

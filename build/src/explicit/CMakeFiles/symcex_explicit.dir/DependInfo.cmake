@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/explicit/explicit_checker.cpp" "src/explicit/CMakeFiles/symcex_explicit.dir/explicit_checker.cpp.o" "gcc" "src/explicit/CMakeFiles/symcex_explicit.dir/explicit_checker.cpp.o.d"
+  "/root/repo/src/explicit/explicit_graph.cpp" "src/explicit/CMakeFiles/symcex_explicit.dir/explicit_graph.cpp.o" "gcc" "src/explicit/CMakeFiles/symcex_explicit.dir/explicit_graph.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bdd/CMakeFiles/symcex_bdd.dir/DependInfo.cmake"
+  "/root/repo/build/src/ts/CMakeFiles/symcex_ts.dir/DependInfo.cmake"
+  "/root/repo/build/src/ctl/CMakeFiles/symcex_ctl.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/symcex_explicit.dir/explicit_checker.cpp.o"
+  "CMakeFiles/symcex_explicit.dir/explicit_checker.cpp.o.d"
+  "CMakeFiles/symcex_explicit.dir/explicit_graph.cpp.o"
+  "CMakeFiles/symcex_explicit.dir/explicit_graph.cpp.o.d"
+  "libsymcex_explicit.a"
+  "libsymcex_explicit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/symcex_explicit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

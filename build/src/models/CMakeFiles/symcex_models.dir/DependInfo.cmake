@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/models/abp.cpp" "src/models/CMakeFiles/symcex_models.dir/abp.cpp.o" "gcc" "src/models/CMakeFiles/symcex_models.dir/abp.cpp.o.d"
+  "/root/repo/src/models/arbiter.cpp" "src/models/CMakeFiles/symcex_models.dir/arbiter.cpp.o" "gcc" "src/models/CMakeFiles/symcex_models.dir/arbiter.cpp.o.d"
+  "/root/repo/src/models/counter.cpp" "src/models/CMakeFiles/symcex_models.dir/counter.cpp.o" "gcc" "src/models/CMakeFiles/symcex_models.dir/counter.cpp.o.d"
+  "/root/repo/src/models/protocols.cpp" "src/models/CMakeFiles/symcex_models.dir/protocols.cpp.o" "gcc" "src/models/CMakeFiles/symcex_models.dir/protocols.cpp.o.d"
+  "/root/repo/src/models/round_robin.cpp" "src/models/CMakeFiles/symcex_models.dir/round_robin.cpp.o" "gcc" "src/models/CMakeFiles/symcex_models.dir/round_robin.cpp.o.d"
+  "/root/repo/src/models/scc_chain.cpp" "src/models/CMakeFiles/symcex_models.dir/scc_chain.cpp.o" "gcc" "src/models/CMakeFiles/symcex_models.dir/scc_chain.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ts/CMakeFiles/symcex_ts.dir/DependInfo.cmake"
+  "/root/repo/build/src/bdd/CMakeFiles/symcex_bdd.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/symcex_models.dir/abp.cpp.o"
+  "CMakeFiles/symcex_models.dir/abp.cpp.o.d"
+  "CMakeFiles/symcex_models.dir/arbiter.cpp.o"
+  "CMakeFiles/symcex_models.dir/arbiter.cpp.o.d"
+  "CMakeFiles/symcex_models.dir/counter.cpp.o"
+  "CMakeFiles/symcex_models.dir/counter.cpp.o.d"
+  "CMakeFiles/symcex_models.dir/protocols.cpp.o"
+  "CMakeFiles/symcex_models.dir/protocols.cpp.o.d"
+  "CMakeFiles/symcex_models.dir/round_robin.cpp.o"
+  "CMakeFiles/symcex_models.dir/round_robin.cpp.o.d"
+  "CMakeFiles/symcex_models.dir/scc_chain.cpp.o"
+  "CMakeFiles/symcex_models.dir/scc_chain.cpp.o.d"
+  "libsymcex_models.a"
+  "libsymcex_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/symcex_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

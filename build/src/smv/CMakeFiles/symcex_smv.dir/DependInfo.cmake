@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/smv/compile.cpp" "src/smv/CMakeFiles/symcex_smv.dir/compile.cpp.o" "gcc" "src/smv/CMakeFiles/symcex_smv.dir/compile.cpp.o.d"
+  "/root/repo/src/smv/flatten.cpp" "src/smv/CMakeFiles/symcex_smv.dir/flatten.cpp.o" "gcc" "src/smv/CMakeFiles/symcex_smv.dir/flatten.cpp.o.d"
+  "/root/repo/src/smv/parser.cpp" "src/smv/CMakeFiles/symcex_smv.dir/parser.cpp.o" "gcc" "src/smv/CMakeFiles/symcex_smv.dir/parser.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ts/CMakeFiles/symcex_ts.dir/DependInfo.cmake"
+  "/root/repo/build/src/ctl/CMakeFiles/symcex_ctl.dir/DependInfo.cmake"
+  "/root/repo/build/src/bdd/CMakeFiles/symcex_bdd.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

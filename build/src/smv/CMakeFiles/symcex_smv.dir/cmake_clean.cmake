@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/symcex_smv.dir/compile.cpp.o"
+  "CMakeFiles/symcex_smv.dir/compile.cpp.o.d"
+  "CMakeFiles/symcex_smv.dir/flatten.cpp.o"
+  "CMakeFiles/symcex_smv.dir/flatten.cpp.o.d"
+  "CMakeFiles/symcex_smv.dir/parser.cpp.o"
+  "CMakeFiles/symcex_smv.dir/parser.cpp.o.d"
+  "libsymcex_smv.a"
+  "libsymcex_smv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/symcex_smv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

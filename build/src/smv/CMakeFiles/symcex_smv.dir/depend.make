@@ -1,0 +1,2 @@
+# Empty dependencies file for symcex_smv.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/symcex_ts.dir/transition_system.cpp.o"
+  "CMakeFiles/symcex_ts.dir/transition_system.cpp.o.d"
+  "libsymcex_ts.a"
+  "libsymcex_ts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/symcex_ts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ctl_test.dir/ctl_test.cpp.o"
+  "CMakeFiles/ctl_test.dir/ctl_test.cpp.o.d"
+  "ctl_test"
+  "ctl_test.pdb"
+  "ctl_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ctl_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ctlstar_test.dir/ctlstar_test.cpp.o"
+  "CMakeFiles/ctlstar_test.dir/ctlstar_test.cpp.o.d"
+  "ctlstar_test"
+  "ctlstar_test.pdb"
+  "ctlstar_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ctlstar_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

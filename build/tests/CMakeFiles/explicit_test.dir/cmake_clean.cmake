@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/explicit_test.dir/explicit_test.cpp.o"
+  "CMakeFiles/explicit_test.dir/explicit_test.cpp.o.d"
+  "explicit_test"
+  "explicit_test.pdb"
+  "explicit_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/explicit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

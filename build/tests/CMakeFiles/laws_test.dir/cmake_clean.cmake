@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/laws_test.dir/laws_test.cpp.o"
+  "CMakeFiles/laws_test.dir/laws_test.cpp.o.d"
+  "laws_test"
+  "laws_test.pdb"
+  "laws_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/laws_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/omega_test.dir/omega_test.cpp.o"
+  "CMakeFiles/omega_test.dir/omega_test.cpp.o.d"
+  "omega_test"
+  "omega_test.pdb"
+  "omega_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/omega_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

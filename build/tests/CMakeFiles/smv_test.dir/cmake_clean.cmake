@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smv_test.dir/smv_test.cpp.o"
+  "CMakeFiles/smv_test.dir/smv_test.cpp.o.d"
+  "smv_test"
+  "smv_test.pdb"
+  "smv_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smv_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

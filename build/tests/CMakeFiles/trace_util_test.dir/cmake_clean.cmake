@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_util_test.dir/trace_util_test.cpp.o"
+  "CMakeFiles/trace_util_test.dir/trace_util_test.cpp.o.d"
+  "trace_util_test"
+  "trace_util_test.pdb"
+  "trace_util_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_util_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

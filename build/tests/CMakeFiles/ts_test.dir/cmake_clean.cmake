@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ts_test.dir/ts_test.cpp.o"
+  "CMakeFiles/ts_test.dir/ts_test.cpp.o.d"
+  "ts_test"
+  "ts_test.pdb"
+  "ts_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ts_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

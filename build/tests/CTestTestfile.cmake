@@ -1,0 +1,23 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/bdd_test[1]_include.cmake")
+include("/root/repo/build/tests/ts_test[1]_include.cmake")
+include("/root/repo/build/tests/ctl_test[1]_include.cmake")
+include("/root/repo/build/tests/checker_test[1]_include.cmake")
+include("/root/repo/build/tests/witness_test[1]_include.cmake")
+include("/root/repo/build/tests/explain_test[1]_include.cmake")
+include("/root/repo/build/tests/explicit_test[1]_include.cmake")
+include("/root/repo/build/tests/ctlstar_test[1]_include.cmake")
+include("/root/repo/build/tests/automata_test[1]_include.cmake")
+include("/root/repo/build/tests/omega_test[1]_include.cmake")
+include("/root/repo/build/tests/trace_util_test[1]_include.cmake")
+include("/root/repo/build/tests/invariant_test[1]_include.cmake")
+include("/root/repo/build/tests/explicit_witness_test[1]_include.cmake")
+include("/root/repo/build/tests/laws_test[1]_include.cmake")
+include("/root/repo/build/tests/smv_test[1]_include.cmake")
+include("/root/repo/build/tests/models_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
