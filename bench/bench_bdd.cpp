@@ -12,6 +12,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_util.hpp"
+
 #include "bdd/bdd.hpp"
 #include "models/models.hpp"
 #include "ts/transition_system.hpp"
@@ -204,4 +206,11 @@ BENCHMARK(BM_GarbageCollection);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  symcex::bench::StatsExport stats(&argc, argv);
+  ::benchmark::Initialize(&argc, argv);
+  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  return 0;
+}

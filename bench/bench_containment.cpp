@@ -7,6 +7,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_util.hpp"
+
 #include "automata/streett.hpp"
 
 namespace {
@@ -102,6 +104,7 @@ BENCHMARK(BM_AcceptsLasso)->Arg(8)->Arg(32)->Arg(128);
 }  // namespace
 
 int main(int argc, char** argv) {
+  symcex::bench::StatsExport stats(&argc, argv);
   report_e8();
   ::benchmark::Initialize(&argc, argv);
   ::benchmark::RunSpecifiedBenchmarks();

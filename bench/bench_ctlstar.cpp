@@ -10,6 +10,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_util.hpp"
+
 #include "core/checker.hpp"
 #include "ctlstar/star_checker.hpp"
 #include "models/models.hpp"
@@ -113,6 +115,7 @@ BENCHMARK(BM_FragmentOnPhilosophers)->Arg(3)->Arg(4)->Arg(5);
 }  // namespace
 
 int main(int argc, char** argv) {
+  symcex::bench::StatsExport stats(&argc, argv);
   report_e7();
   ::benchmark::Initialize(&argc, argv);
   ::benchmark::RunSpecifiedBenchmarks();

@@ -13,6 +13,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_util.hpp"
+
 #include "core/checker.hpp"
 #include "explicit/explicit_checker.hpp"
 #include "explicit/explicit_graph.hpp"
@@ -125,6 +127,7 @@ BENCHMARK(BM_ExplicitCounterInvariant)->Arg(8)->Arg(12)->Arg(16);
 }  // namespace
 
 int main(int argc, char** argv) {
+  symcex::bench::StatsExport stats(&argc, argv);
   report_e5();
   ::benchmark::Initialize(&argc, argv);
   ::benchmark::RunSpecifiedBenchmarks();

@@ -12,6 +12,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_util.hpp"
+
 #include "core/checker.hpp"
 #include "core/witness.hpp"
 #include "explicit/explicit_checker.hpp"
@@ -156,6 +158,7 @@ BENCHMARK(BM_ExactMinimalWitness)->Arg(1)->Arg(3)->Arg(6)->Arg(10);
 }  // namespace
 
 int main(int argc, char** argv) {
+  symcex::bench::StatsExport stats(&argc, argv);
   report_e4();
   ::benchmark::Initialize(&argc, argv);
   ::benchmark::RunSpecifiedBenchmarks();

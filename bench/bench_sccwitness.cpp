@@ -16,6 +16,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_util.hpp"
+
 #include "core/checker.hpp"
 #include "core/witness.hpp"
 #include "models/models.hpp"
@@ -116,6 +118,7 @@ BENCHMARK(BM_RingGuided)->Arg(8)->Arg(32)->Arg(64);
 }  // namespace
 
 int main(int argc, char** argv) {
+  symcex::bench::StatsExport stats(&argc, argv);
   report_series();
   ::benchmark::Initialize(&argc, argv);
   ::benchmark::RunSpecifiedBenchmarks();

@@ -12,6 +12,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_util.hpp"
+
 #include "core/checker.hpp"
 #include "core/explain.hpp"
 #include "core/invariant.hpp"
@@ -177,6 +179,7 @@ BENCHMARK(BM_InvariantBackward)->Arg(6)->Arg(8)->Arg(10);
 }  // namespace
 
 int main(int argc, char** argv) {
+  symcex::bench::StatsExport stats(&argc, argv);
   report_e6();
   ::benchmark::Initialize(&argc, argv);
   ::benchmark::RunSpecifiedBenchmarks();

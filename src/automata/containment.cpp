@@ -19,6 +19,7 @@
 #include "automata/streett.hpp"
 #include "core/checker.hpp"
 #include "ctlstar/star_checker.hpp"
+#include "diag/metrics.hpp"
 #include "ts/field.hpp"
 #include "ts/transition_system.hpp"
 
@@ -101,11 +102,16 @@ class ProductCtx {
   /// Run the fragment check over the combined DNF and decode a witness.
   ContainmentResult check(const Dnf& total,
                           const core::WitnessOptions& options) {
+    const diag::PhaseScope phase("containment");
+    const bool diag_on = diag::enabled();
     core::Checker checker(m_);
     ctlstar::StarChecker star(checker, options);
     ContainmentResult out;
     out.product_states = m_.count_states(m_.reachable());
     for (const auto& conjuncts : total) {
+      if (diag_on) {
+        diag::Registry::global().add("containment.disjuncts_checked");
+      }
       const bdd::Bdd sat = star.check_conjunction(conjuncts);
       if (!m_.init().intersects(sat)) continue;
       const core::Trace trace =

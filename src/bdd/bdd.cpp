@@ -9,6 +9,8 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "diag/metrics.hpp"
+
 namespace symcex::bdd {
 
 namespace {
@@ -26,6 +28,38 @@ std::size_t hash3(std::uint32_t a, std::uint32_t b, std::uint32_t c) {
 constexpr std::uint32_t kMaxRefs = std::numeric_limits<std::uint32_t>::max();
 
 }  // namespace
+
+const char* apply_op_name(ApplyOp op) {
+  switch (op) {
+    case ApplyOp::kNot:
+      return "not";
+    case ApplyOp::kAnd:
+      return "and";
+    case ApplyOp::kOr:
+      return "or";
+    case ApplyOp::kXor:
+      return "xor";
+    case ApplyOp::kIte:
+      return "ite";
+    case ApplyOp::kExists:
+      return "exists";
+    case ApplyOp::kAndExists:
+      return "and_exists";
+    case ApplyOp::kConstrain:
+      return "constrain";
+    case ApplyOp::kRestrictMin:
+      return "restrict_min";
+    case ApplyOp::kRestrictVar:
+      return "restrict_var";
+    case ApplyOp::kCompose:
+      return "compose";
+    case ApplyOp::kRename:
+      return "rename";
+    case ApplyOp::kCount:
+      break;
+  }
+  return "?";
+}
 
 // ---------------------------------------------------------------------------
 // Bdd handle
@@ -75,6 +109,7 @@ bool Bdd::is_false() const {
 Bdd Bdd::operator!() const {
   if (mgr_ == nullptr) throw std::logic_error("Bdd: operation on null handle");
   mgr_->maybe_collect();
+  mgr_->count_apply(ApplyOp::kNot);
   return mgr_->wrap(mgr_->not_rec(idx_));
 }
 
@@ -82,6 +117,7 @@ Bdd Bdd::operator&(const Bdd& g) const {
   if (mgr_ == nullptr) throw std::logic_error("Bdd: operation on null handle");
   mgr_->check_mine(g, "operator&");
   mgr_->maybe_collect();
+  mgr_->count_apply(ApplyOp::kAnd);
   return mgr_->wrap(mgr_->and_rec(idx_, g.idx_));
 }
 
@@ -89,6 +125,7 @@ Bdd Bdd::operator|(const Bdd& g) const {
   if (mgr_ == nullptr) throw std::logic_error("Bdd: operation on null handle");
   mgr_->check_mine(g, "operator|");
   mgr_->maybe_collect();
+  mgr_->count_apply(ApplyOp::kOr);
   return mgr_->wrap(mgr_->or_rec(idx_, g.idx_));
 }
 
@@ -96,6 +133,7 @@ Bdd Bdd::operator^(const Bdd& g) const {
   if (mgr_ == nullptr) throw std::logic_error("Bdd: operation on null handle");
   mgr_->check_mine(g, "operator^");
   mgr_->maybe_collect();
+  mgr_->count_apply(ApplyOp::kXor);
   return mgr_->wrap(mgr_->xor_rec(idx_, g.idx_));
 }
 
@@ -103,6 +141,7 @@ Bdd Bdd::exists(const Bdd& cube) const {
   if (mgr_ == nullptr) throw std::logic_error("Bdd: operation on null handle");
   mgr_->check_mine(cube, "exists");
   mgr_->maybe_collect();
+  mgr_->count_apply(ApplyOp::kExists);
   return mgr_->wrap(mgr_->exists_rec(idx_, cube.idx_));
 }
 
@@ -118,6 +157,7 @@ Bdd Bdd::constrain(const Bdd& care) const {
     throw std::invalid_argument("Bdd::constrain: empty care set");
   }
   mgr_->maybe_collect();
+  mgr_->count_apply(ApplyOp::kConstrain);
   return mgr_->wrap(mgr_->constrain_rec(idx_, care.idx_));
 }
 
@@ -128,6 +168,7 @@ Bdd Bdd::minimize(const Bdd& care) const {
     throw std::invalid_argument("Bdd::minimize: empty care set");
   }
   mgr_->maybe_collect();
+  mgr_->count_apply(ApplyOp::kRestrictMin);
   return mgr_->wrap(mgr_->restrict_min_rec(idx_, care.idx_));
 }
 
@@ -135,12 +176,14 @@ Bdd Bdd::compose(std::uint32_t var, const Bdd& g) const {
   if (mgr_ == nullptr) throw std::logic_error("Bdd: operation on null handle");
   mgr_->check_mine(g, "compose");
   mgr_->maybe_collect();
+  mgr_->count_apply(ApplyOp::kCompose);
   return mgr_->wrap(mgr_->compose_rec(idx_, var, g.idx_));
 }
 
 Bdd Bdd::restrict_var(std::uint32_t var, bool value) const {
   if (mgr_ == nullptr) throw std::logic_error("Bdd: operation on null handle");
   mgr_->maybe_collect();
+  mgr_->count_apply(ApplyOp::kRestrictVar);
   std::vector<std::uint32_t> memo;
   return mgr_->wrap(mgr_->restrict_rec(idx_, var, value, memo));
 }
@@ -182,6 +225,22 @@ std::vector<std::uint32_t> Bdd::support() const {
 
 double Bdd::sat_count(std::uint32_t num_vars) const {
   if (mgr_ == nullptr) throw std::logic_error("Bdd: operation on null handle");
+  // Saturating arithmetic: counts that exceed the double range clamp to
+  // kSaturated instead of overflowing to infinity (which a naive
+  // `memo * std::pow(2.0, skipped)` does from ~1024 free variables up,
+  // poisoning everything downstream -- count_states, restart bounds).
+  // ldexp is exact below the saturation point, so small counts keep their
+  // integer-exact values.
+  constexpr double kSaturated = std::numeric_limits<double>::max();
+  const auto mul_pow2 = [](double x, std::uint32_t k) {
+    if (x == 0.0) return 0.0;
+    const double r = std::ldexp(x, static_cast<int>(std::min(k, 8192u)));
+    return std::isinf(r) ? kSaturated : r;
+  };
+  const auto sat_add = [](double a, double b) {
+    const double r = a + b;
+    return std::isinf(r) ? kSaturated : r;
+  };
   // count(n) = number of assignments to variables strictly below n's level.
   std::unordered_map<std::uint32_t, double> memo;
   // Iterative post-order to avoid deep recursion on wide functions.
@@ -210,13 +269,13 @@ double Bdd::sat_count(std::uint32_t num_vars) const {
           mgr_->level(child) == Manager::kTermVar ? num_vars
                                                   : mgr_->level(child);
       const std::uint32_t skipped = child_level - nd.var - 1;
-      return memo.at(child) * std::pow(2.0, static_cast<double>(skipped));
+      return mul_pow2(memo.at(child), skipped);
     };
-    memo[n] = weight(nd.lo) + weight(nd.hi);
+    memo[n] = sat_add(weight(nd.lo), weight(nd.hi));
   }
   const std::uint32_t top_level =
       mgr_->level(idx_) == Manager::kTermVar ? num_vars : mgr_->level(idx_);
-  return memo.at(idx_) * std::pow(2.0, static_cast<double>(top_level));
+  return mul_pow2(memo.at(idx_), top_level);
 }
 
 bool Bdd::eval(const std::vector<bool>& assignment) const {
@@ -274,9 +333,42 @@ Manager::Manager(std::uint32_t num_vars, const ManagerOptions& options)
   buckets_.assign(1u << 12, kNil);
   cache_.assign(std::size_t{1} << options.cache_log2_size, CacheEntry{});
   for (std::uint32_t i = 0; i < num_vars; ++i) new_var();
+  // Live source: exports snapshot this manager's stats while it is alive.
+  diag_source_id_ = diag::Registry::global().register_source(
+      [this](diag::Registry& r) { fold_stats_into_diag(r); });
 }
 
-Manager::~Manager() = default;
+Manager::~Manager() {
+  // Retire: fold the final numbers into the registry permanently so the
+  // at-exit report still accounts for managers destroyed before it runs.
+  auto& registry = diag::Registry::global();
+  if (diag::enabled()) fold_stats_into_diag(registry);
+  registry.unregister_source(diag_source_id_);
+}
+
+void Manager::fold_stats_into_diag(diag::Registry& r) const {
+  constexpr std::string_view kPhase = "bdd";
+  r.add_in(kPhase, "gc_runs", stats_.gc_runs);
+  r.add_in(kPhase, "gc_reclaimed", stats_.gc_reclaimed);
+  r.add_in(kPhase, "cache_clears", stats_.cache_clears);
+  r.add_in(kPhase, "table_growths", stats_.table_growths);
+  r.add_in(kPhase, "unique_hits", stats_.unique_hits);
+  r.add_in(kPhase, "unique_misses", stats_.unique_misses);
+  r.add_in(kPhase, "cache_hits", stats_.cache_hits);
+  r.add_in(kPhase, "cache_lookups", stats_.cache_lookups);
+  if (stats_.gc_runs > 0) {
+    r.timer_add_in(kPhase, "gc_pause", stats_.gc_pause_ns, stats_.gc_runs);
+  }
+  r.gauge_set_in(kPhase, "peak_nodes",
+                 static_cast<double>(stats_.peak_nodes));
+  for (std::size_t i = 0; i < kNumApplyOps; ++i) {
+    if (stats_.apply_calls[i] == 0) continue;
+    r.add_in(kPhase,
+             std::string("apply.") +
+                 apply_op_name(static_cast<ApplyOp>(i)),
+             stats_.apply_calls[i]);
+  }
+}
 
 Bdd Manager::one() { return wrap(kTrue); }
 Bdd Manager::zero() { return wrap(kFalse); }
@@ -341,6 +433,7 @@ std::uint32_t Manager::mk(std::uint32_t var, std::uint32_t lo,
 }
 
 void Manager::grow_table() {
+  ++stats_.table_growths;
   const std::size_t new_size = buckets_.size() * 2;
   std::vector<std::uint32_t> fresh(new_size, kNil);
   buckets_.swap(fresh);
@@ -372,8 +465,10 @@ void Manager::maybe_collect() {
 }
 
 void Manager::gc() {
+  const std::uint64_t t0 = diag::monotonic_ns();
   // The computed cache may reference dead nodes: drop it wholesale.
   for (auto& e : cache_) e.valid = false;
+  ++stats_.cache_clears;
 
   std::vector<std::uint32_t> dead;
   for (std::uint32_t n = 2; n < nodes_.size(); ++n) {
@@ -410,6 +505,10 @@ void Manager::gc() {
   ++stats_.gc_runs;
   stats_.gc_reclaimed += reclaimed;
   stats_.live_nodes = live_nodes_;
+  const std::uint64_t pause_ns = diag::monotonic_ns() - t0;
+  stats_.gc_pause_ns += pause_ns;
+  // Attribute the pause to whatever phase triggered the collection.
+  diag::Registry::global().timer_add("gc_pause", pause_ns);
 }
 
 void Manager::check_mine(const Bdd& b, const char* what) const {
@@ -731,6 +830,7 @@ Bdd Manager::ite(const Bdd& f, const Bdd& g, const Bdd& h) {
   check_mine(g, "ite");
   check_mine(h, "ite");
   maybe_collect();
+  count_apply(ApplyOp::kIte);
   return wrap(ite_rec(f.idx_, g.idx_, h.idx_));
 }
 
@@ -739,12 +839,14 @@ Bdd Manager::and_exists(const Bdd& f, const Bdd& g, const Bdd& cube) {
   check_mine(g, "and_exists");
   check_mine(cube, "and_exists");
   maybe_collect();
+  count_apply(ApplyOp::kAndExists);
   return wrap(and_exists_rec(f.idx_, g.idx_, cube.idx_));
 }
 
 Bdd Manager::rename(const Bdd& f, const std::vector<std::uint32_t>& map) {
   check_mine(f, "rename");
   maybe_collect();
+  count_apply(ApplyOp::kRename);
   // Verify the map is order-preserving and injective on f's support; a
   // violation would silently produce a mis-ordered (non-canonical) DAG.
   const std::vector<std::uint32_t> sup = f.support();

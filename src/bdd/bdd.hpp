@@ -24,12 +24,17 @@
 
 #pragma once
 
+#include <array>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <iosfwd>
 #include <string>
 #include <vector>
+
+namespace symcex::diag {
+class Registry;
+}  // namespace symcex::diag
 
 namespace symcex::bdd {
 
@@ -62,9 +67,13 @@ class Bdd {
     return a.mgr_ == b.mgr_ && a.idx_ == b.idx_;
   }
   friend bool operator!=(const Bdd& a, const Bdd& b) { return !(a == b); }
-  /// Arbitrary strict order for use in ordered containers.
+  /// Arbitrary strict order for use in ordered containers.  Handles of
+  /// distinct managers order by std::less<Manager*> (a raw `<` on
+  /// unrelated pointers is unspecified behavior; std::less guarantees a
+  /// total order).
   friend bool operator<(const Bdd& a, const Bdd& b) {
-    return a.mgr_ != b.mgr_ ? a.mgr_ < b.mgr_ : a.idx_ < b.idx_;
+    if (a.mgr_ != b.mgr_) return std::less<Manager*>{}(a.mgr_, b.mgr_);
+    return a.idx_ < b.idx_;
   }
 
   // Boolean connectives.  All operands must share a manager.
@@ -116,7 +125,11 @@ class Bdd {
   [[nodiscard]] std::size_t dag_size() const;
   /// The set of variables this function depends on, ascending.
   [[nodiscard]] std::vector<std::uint32_t> support() const;
-  /// Number of satisfying assignments over `num_vars` variables.
+  /// Number of satisfying assignments over `num_vars` variables.  The
+  /// result is always finite: values that a double cannot represent
+  /// saturate at std::numeric_limits<double>::max() instead of
+  /// overflowing to infinity (relevant from ~1024 free variables up).
+  /// Below the saturation point powers of two are exact.
   [[nodiscard]] double sat_count(std::uint32_t num_vars) const;
   /// Evaluate under a total assignment (indexed by variable).
   [[nodiscard]] bool eval(const std::vector<bool>& assignment) const;
@@ -138,16 +151,50 @@ class Bdd {
   std::uint32_t idx_ = 0;
 };
 
-/// Aggregate statistics a Manager keeps about itself.
+/// Top-level apply-style operations a Manager counts per call (not per
+/// recursive step) in ManagerStats::apply_calls.
+enum class ApplyOp : std::size_t {
+  kNot,
+  kAnd,
+  kOr,
+  kXor,
+  kIte,
+  kExists,
+  kAndExists,
+  kConstrain,
+  kRestrictMin,
+  kRestrictVar,
+  kCompose,
+  kRename,
+  kCount,  // number of entries, not an operation
+};
+inline constexpr std::size_t kNumApplyOps =
+    static_cast<std::size_t>(ApplyOp::kCount);
+
+/// Short stable name of an apply operation ("and", "ite", ...).
+[[nodiscard]] const char* apply_op_name(ApplyOp op);
+
+/// Aggregate statistics a Manager keeps about itself.  These are plain
+/// always-on counters (no measurable overhead); the diag layer folds them
+/// into its JSON export under the "bdd" phase.
 struct ManagerStats {
   std::size_t live_nodes = 0;      ///< allocated and not freed
   std::size_t peak_nodes = 0;      ///< high-water mark of live_nodes
   std::size_t gc_runs = 0;         ///< completed garbage collections
   std::size_t gc_reclaimed = 0;    ///< total nodes reclaimed by GC
+  std::uint64_t gc_pause_ns = 0;   ///< total wall time spent inside gc()
+  std::size_t cache_clears = 0;    ///< computed-cache invalidations (by GC)
+  std::size_t table_growths = 0;   ///< unique-table rehash/grow events
   std::size_t unique_hits = 0;     ///< mk() found an existing node
   std::size_t unique_misses = 0;   ///< mk() created a node
   std::size_t cache_hits = 0;      ///< computed-cache hits
   std::size_t cache_lookups = 0;   ///< computed-cache probes
+  /// Top-level calls per apply-style operation, indexed by ApplyOp.
+  std::array<std::uint64_t, kNumApplyOps> apply_calls{};
+
+  [[nodiscard]] std::uint64_t apply(ApplyOp op) const {
+    return apply_calls[static_cast<std::size_t>(op)];
+  }
 };
 
 /// Tuning knobs for a Manager.
@@ -309,6 +356,11 @@ class Manager {
 
   [[nodiscard]] Bdd wrap(std::uint32_t idx) { return Bdd(this, idx); }
   void check_mine(const Bdd& b, const char* what) const;
+  void count_apply(ApplyOp op) {
+    ++stats_.apply_calls[static_cast<std::size_t>(op)];
+  }
+  /// Fold this manager's stats into a diag registry (phase "bdd").
+  void fold_stats_into_diag(diag::Registry& registry) const;
 
   // Helpers used by Bdd methods.
   std::uint32_t restrict_rec(std::uint32_t f, std::uint32_t var, bool value,
@@ -323,6 +375,7 @@ class Manager {
   std::size_t gc_threshold_ = 0;
   bool auto_gc_ = true;
   ManagerStats stats_;
+  int diag_source_id_ = -1;  // registration with diag::Registry::global()
 };
 
 }  // namespace symcex::bdd

@@ -3,6 +3,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "diag/metrics.hpp"
+
 namespace symcex::core {
 
 Checker::Checker(ts::TransitionSystem& ts, const CheckOptions& options)
@@ -30,6 +32,7 @@ bdd::Bdd Checker::states(const ctl::Formula::Ptr& f) {
         "restricted CTL* fragment): " +
         ctl::to_string(f));
   }
+  const diag::PhaseScope phase("check");
   return states_enf(ctl::to_existential_normal_form(f));
 }
 
@@ -63,15 +66,25 @@ bdd::Bdd Checker::states_enf(const ctl::Formula::Ptr& f) {
     case Kind::kXor:
       result = states_enf(f->lhs()) ^ states_enf(f->rhs());
       break;
-    case Kind::kEX:
-      result = ex(states_enf(f->lhs()));
+    case Kind::kEX: {
+      const bdd::Bdd arg = states_enf(f->lhs());
+      const diag::PhaseScope op_phase("ex");
+      result = ex(arg);
       break;
-    case Kind::kEU:
-      result = eu(states_enf(f->lhs()), states_enf(f->rhs()));
+    }
+    case Kind::kEU: {
+      const bdd::Bdd lhs = states_enf(f->lhs());
+      const bdd::Bdd rhs = states_enf(f->rhs());
+      const diag::PhaseScope op_phase("eu");
+      result = eu(lhs, rhs);
       break;
-    case Kind::kEG:
-      result = eg(states_enf(f->lhs()));
+    }
+    case Kind::kEG: {
+      const bdd::Bdd arg = states_enf(f->lhs());
+      const diag::PhaseScope op_phase("eg");
+      result = eg(arg);
       break;
+    }
     default:
       // to_existential_normal_form eliminates every other kind.
       throw std::logic_error("Checker::states_enf: unexpected node kind");
@@ -98,9 +111,11 @@ bdd::Bdd Checker::ex_raw(const bdd::Bdd& f) {
 }
 
 bdd::Bdd Checker::eu_raw(const bdd::Bdd& f, const bdd::Bdd& g) {
+  const bool diag_on = diag::enabled();
   bdd::Bdd z = g;
   for (;;) {
     ++stats_.eu_iterations;
+    if (diag_on) diag::Registry::global().add("fixpoint.eu_iterations");
     const bdd::Bdd znew = g | (f & ex_raw(z));
     if (znew == z) return z;
     z = znew;
@@ -108,9 +123,11 @@ bdd::Bdd Checker::eu_raw(const bdd::Bdd& f, const bdd::Bdd& g) {
 }
 
 std::vector<bdd::Bdd> Checker::eu_rings(const bdd::Bdd& f, const bdd::Bdd& g) {
+  const bool diag_on = diag::enabled();
   std::vector<bdd::Bdd> rings{g};
   for (;;) {
     ++stats_.eu_iterations;
+    if (diag_on) diag::Registry::global().add("fixpoint.eu_iterations");
     const bdd::Bdd znew = g | (f & ex_raw(rings.back()));
     if (znew == rings.back()) return rings;
     rings.push_back(znew);
@@ -118,9 +135,11 @@ std::vector<bdd::Bdd> Checker::eu_rings(const bdd::Bdd& f, const bdd::Bdd& g) {
 }
 
 bdd::Bdd Checker::eg_raw(const bdd::Bdd& f) {
+  const bool diag_on = diag::enabled();
   bdd::Bdd z = f;
   for (;;) {
     ++stats_.eg_iterations;
+    if (diag_on) diag::Registry::global().add("fixpoint.eg_iterations");
     const bdd::Bdd znew = f & ex_raw(z);
     if (znew == z) return z;
     z = znew;
@@ -133,6 +152,7 @@ bdd::Bdd Checker::eg_raw(const bdd::Bdd& f) {
 
 const bdd::Bdd& Checker::fair_states() {
   if (fair_.is_null()) {
+    const diag::PhaseScope phase("fair");
     if (ts_.fairness().empty()) {
       fair_ = eg_raw(ts_.manager().one());
     } else {
@@ -158,9 +178,11 @@ bdd::Bdd Checker::eg(const bdd::Bdd& f) {
   if (ts_.fairness().empty()) return eg_raw(f);
   // Plain fair-EG evaluation; the rings are recomputed on demand by
   // eg_with_rings when a witness is requested.
+  const bool diag_on = diag::enabled();
   bdd::Bdd z = f;
   for (;;) {
     ++stats_.eg_iterations;
+    if (diag_on) diag::Registry::global().add("fixpoint.eg_iterations");
     bdd::Bdd znew = f;
     for (const auto& h : ts_.fairness()) {
       znew &= ex_raw(eu_raw(f, z & h));
@@ -184,9 +206,11 @@ FairEG Checker::eg_with_rings(const bdd::Bdd& f,
     constraints.push_back(ts_.manager().one());
   }
   // Outer greatest fixpoint.
+  const bool diag_on = diag::enabled();
   bdd::Bdd z = f;
   for (;;) {
     ++stats_.eg_iterations;
+    if (diag_on) diag::Registry::global().add("fixpoint.eg_iterations");
     bdd::Bdd znew = f;
     for (const auto& h : constraints) {
       znew &= ex_raw(eu_raw(f, z & h));
@@ -196,6 +220,7 @@ FairEG Checker::eg_with_rings(const bdd::Bdd& f,
     z = znew;
   }
   // Final pass with Z fixed: save the approximation sequences Q_i^h.
+  const diag::PhaseScope rings_phase("rings");
   FairEG out;
   out.states = z;
   out.constraints = std::move(constraints);

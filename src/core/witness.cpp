@@ -1,10 +1,13 @@
 #include "core/witness.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdint>
 #include <limits>
 #include <stdexcept>
 #include <utility>
+
+#include "diag/metrics.hpp"
 
 namespace symcex::core {
 
@@ -47,6 +50,7 @@ std::vector<bdd::Bdd> WitnessGenerator::walk_rings(
     }
     path.push_back(ts.pick_state(succ & rings[j]));
     ++stats_.ring_steps;
+    if (diag::enabled()) diag::Registry::global().add("witness.ring_steps");
     i = j;
   }
   return path;
@@ -71,6 +75,8 @@ Trace WitnessGenerator::eg(const FairEG& info, const bdd::Bdd& f_states,
 
 Trace WitnessGenerator::eg_lasso(const FairEG& info, const bdd::Bdd& f_states,
                                  bdd::Bdd s) {
+  const diag::PhaseScope phase("witness/eg");
+  const bool diag_on = diag::enabled();
   auto& ts = checker_.system();
   const auto method = checker_.options().image_method;
   const bdd::Bdd& z = info.states;
@@ -79,9 +85,14 @@ Trace WitnessGenerator::eg_lasso(const FairEG& info, const bdd::Bdd& f_states,
   std::size_t max_restarts = options_.max_restarts;
   if (max_restarts == 0) {
     // The SCC-DAG descent argument bounds restarts by the number of SCCs,
-    // itself bounded by the number of states in EG f.
+    // itself bounded by the number of states in EG f.  count_states may
+    // saturate on huge systems (non-finite or enormous), so only trust it
+    // when it is a finite, representable small bound; otherwise fall back
+    // to a generous fixed cap.
     const double n = ts.count_states(z);
-    max_restarts = n < 1e7 ? static_cast<std::size_t>(n) + 2 : (1u << 24);
+    max_restarts = (std::isfinite(n) && n >= 0.0 && n < 1e7)
+                       ? static_cast<std::size_t>(n) + 2
+                       : (std::size_t{1} << 24);
   }
 
   std::vector<bdd::Bdd> accumulated_prefix;  // across restarts
@@ -114,6 +125,7 @@ Trace WitnessGenerator::eg_lasso(const FairEG& info, const bdd::Bdd& f_states,
       segment.push_back(state);
       current = state;
       ++stats_.ring_steps;
+      if (diag_on) diag::Registry::global().add("witness.ring_steps");
       if (t.is_null()) {
         t = state;
         if (options_.strategy == CycleCloseStrategy::kEarlyExit) {
@@ -126,6 +138,7 @@ Trace WitnessGenerator::eg_lasso(const FairEG& info, const bdd::Bdd& f_states,
         // longer be completed; restart from here immediately.
         restart = true;
         ++stats_.early_exits;
+        if (diag_on) diag::Registry::global().add("witness.early_exits");
       }
     };
 
@@ -171,6 +184,7 @@ Trace WitnessGenerator::eg_lasso(const FairEG& info, const bdd::Bdd& f_states,
                                 segment.end() - 1);
       s = current;
       ++stats_.restarts;
+      if (diag_on) diag::Registry::global().add("witness.restarts");
       continue;
     }
 
@@ -180,6 +194,7 @@ Trace WitnessGenerator::eg_lasso(const FairEG& info, const bdd::Bdd& f_states,
 
     // ---- close the cycle: non-trivial path s' -> t within f -------------
     // This is a witness for  {s'} & EX E[f U {t}].
+    const diag::PhaseScope closure_phase("closure");
     const std::vector<bdd::Bdd> closure_rings =
         checker_.eu_rings(f_states, t);
     const bdd::Bdd succ = ts.image(s_prime, method);
@@ -206,6 +221,7 @@ Trace WitnessGenerator::eg_lasso(const FairEG& info, const bdd::Bdd& f_states,
 
 Trace WitnessGenerator::eu(const bdd::Bdd& f, const bdd::Bdd& g,
                            const bdd::Bdd& from) {
+  const diag::PhaseScope phase("witness/eu");
   const bdd::Bdd target = g & checker_.fair_states();
   const std::vector<bdd::Bdd> rings = checker_.eu_rings(f, target);
   if (!from.intersects(rings.back())) {
@@ -231,6 +247,7 @@ const FairEG& WitnessGenerator::fair_true() {
 
 void WitnessGenerator::extend_to_fair(Trace& trace) {
   if (trace.is_lasso() || trace.prefix.empty()) return;
+  const diag::PhaseScope phase("witness/extend");
   const Trace tail = eg(fair_true(), checker_.system().manager().one(),
                         trace.prefix.back());
   trace.prefix.pop_back();
@@ -240,6 +257,7 @@ void WitnessGenerator::extend_to_fair(Trace& trace) {
 }
 
 Trace WitnessGenerator::ex(const bdd::Bdd& f, const bdd::Bdd& from) {
+  const diag::PhaseScope phase("witness/ex");
   auto& ts = checker_.system();
   const bdd::Bdd good = f & checker_.fair_states();
   const bdd::Bdd can = from & checker_.ex_raw(good);

@@ -3,6 +3,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "diag/metrics.hpp"
+
 namespace symcex::ctlstar {
 
 using ctl::Formula;
@@ -161,10 +163,14 @@ std::vector<Conjunct> StarChecker::augment(std::vector<Conjunct> cs) const {
 
 bdd::Bdd StarChecker::fixpoint(const std::vector<Conjunct>& cs) {
   ++fixpoint_evaluations_;
+  const diag::PhaseScope phase("ctlstar/el_fixpoint");
+  const bool diag_on = diag::enabled();
+  if (diag_on) diag::Registry::global().add("fixpoint.evaluations");
   auto& mgr = base_.system().manager();
   // gfp Y [ AND_j ( (q_j & EX Y) | EX E[Y U (p_j & Y)] ) ], then EF of it.
   bdd::Bdd y = mgr.one();
   for (;;) {
+    if (diag_on) diag::Registry::global().add("fixpoint.outer_iterations");
     bdd::Bdd ynew = mgr.one();
     for (const auto& c : cs) {
       bdd::Bdd term = mgr.zero();

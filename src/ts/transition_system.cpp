@@ -7,6 +7,8 @@
 #include <stdexcept>
 #include <unordered_set>
 
+#include "diag/metrics.hpp"
+
 namespace symcex::ts {
 
 TransitionSystem::TransitionSystem() : TransitionSystem(bdd::ManagerOptions{}) {}
@@ -210,12 +212,31 @@ bdd::Bdd TransitionSystem::unprime(const bdd::Bdd& f) const {
 bdd::Bdd TransitionSystem::image(const bdd::Bdd& states,
                                  ImageMethod method) const {
   require_finalized("image");
+  const bool diag_on = diag::enabled();
+  diag::TimerScope timer("image.time");
   if (method == ImageMethod::kMonolithic || parts_.size() == 1) {
-    return unprime(mgr_->and_exists(states, trans(), cur_cube_));
+    const bdd::Bdd product = mgr_->and_exists(states, trans(), cur_cube_);
+    if (diag_on) {
+      auto& r = diag::Registry::global();
+      r.add("image.calls");
+      r.add("image.monolithic.calls");
+      r.add("image.sweep_steps");
+      r.gauge_set("image.peak_dag", static_cast<double>(product.dag_size()));
+    }
+    return unprime(product);
   }
   bdd::Bdd acc = states;
+  std::size_t peak = 0;
   for (std::size_t i = 0; i < parts_.size(); ++i) {
     acc = mgr_->and_exists(acc, parts_[i], img_sched_[i]);
+    if (diag_on) peak = std::max(peak, acc.dag_size());
+  }
+  if (diag_on) {
+    auto& r = diag::Registry::global();
+    r.add("image.calls");
+    r.add("image.partitioned.calls");
+    r.add("image.sweep_steps", parts_.size());
+    r.gauge_set("image.peak_dag", static_cast<double>(peak));
   }
   return unprime(acc);
 }
@@ -223,13 +244,32 @@ bdd::Bdd TransitionSystem::image(const bdd::Bdd& states,
 bdd::Bdd TransitionSystem::preimage(const bdd::Bdd& states,
                                     ImageMethod method) const {
   require_finalized("preimage");
+  const bool diag_on = diag::enabled();
+  diag::TimerScope timer("preimage.time");
   const bdd::Bdd primed = prime(states);
   if (method == ImageMethod::kMonolithic || parts_.size() == 1) {
-    return mgr_->and_exists(primed, trans(), next_cube_);
+    const bdd::Bdd result = mgr_->and_exists(primed, trans(), next_cube_);
+    if (diag_on) {
+      auto& r = diag::Registry::global();
+      r.add("preimage.calls");
+      r.add("preimage.monolithic.calls");
+      r.add("preimage.sweep_steps");
+      r.gauge_set("preimage.peak_dag", static_cast<double>(result.dag_size()));
+    }
+    return result;
   }
   bdd::Bdd acc = primed;
+  std::size_t peak = 0;
   for (std::size_t i = 0; i < parts_.size(); ++i) {
     acc = mgr_->and_exists(acc, parts_[i], pre_sched_[i]);
+    if (diag_on) peak = std::max(peak, acc.dag_size());
+  }
+  if (diag_on) {
+    auto& r = diag::Registry::global();
+    r.add("preimage.calls");
+    r.add("preimage.partitioned.calls");
+    r.add("preimage.sweep_steps", parts_.size());
+    r.gauge_set("preimage.peak_dag", static_cast<double>(peak));
   }
   return acc;
 }
@@ -237,14 +277,22 @@ bdd::Bdd TransitionSystem::preimage(const bdd::Bdd& states,
 const bdd::Bdd& TransitionSystem::reachable() const {
   require_finalized("reachable");
   if (reachable_.is_null()) {
+    const diag::PhaseScope phase("reach");
+    const diag::TimerScope timer("reach.time");
+    const bool diag_on = diag::enabled();
     bdd::Bdd reached = init_;
     bdd::Bdd frontier = init_;
     while (!frontier.is_false()) {
+      if (diag_on) diag::Registry::global().add("reach.iterations");
       const bdd::Bdd img = image(frontier);
       frontier = img - reached;
       reached |= frontier;
     }
     reachable_ = reached;
+    if (diag_on) {
+      diag::Registry::global().gauge_set(
+          "reach.dag_size", static_cast<double>(reachable_.dag_size()));
+    }
   }
   return reachable_;
 }
@@ -254,8 +302,10 @@ double TransitionSystem::count_states(const bdd::Bdd& set) const {
   // quantifying nothing and halving out the absent next rail.
   const auto n = static_cast<std::uint32_t>(names_.size());
   // sat_count over all 2n BDD vars counts each state 2^n times (the next
-  // rail is unconstrained), so count over the even rail only.
-  return set.sat_count(2 * n) / std::pow(2.0, static_cast<double>(n));
+  // rail is unconstrained), so count over the even rail only.  ldexp (not
+  // pow) keeps the scaling exact and finite for n > 1023; note sat_count
+  // itself saturates, so huge systems yield a clamped approximation.
+  return std::ldexp(set.sat_count(2 * n), -static_cast<int>(n));
 }
 
 bdd::Bdd TransitionSystem::pick_state(const bdd::Bdd& set) const {
