@@ -17,6 +17,7 @@
 
 #include "automata/omega.hpp"
 #include "automata/streett.hpp"
+#include "certify/certify.hpp"
 #include "core/checker.hpp"
 #include "ctlstar/star_checker.hpp"
 #include "diag/metrics.hpp"
@@ -227,6 +228,27 @@ Dnf muller_neg_phi(ProductCtx& ctx,
   return out;
 }
 
+/// When certification is on, re-check a non-containment verdict with the
+/// automata's own exact lasso acceptance (independent of the symbolic
+/// product): the word must be accepted by the system and rejected by the
+/// specification.
+template <typename Sys, typename Spec>
+void certify_result(const ContainmentResult& result, const Sys& sys,
+                    const Spec& spec) {
+  if (!certify::enabled() || result.contained) return;
+  const WordLasso& w = *result.counterexample;
+  certify::Certificate cert;
+  cert.require("sys-accepts",
+               sys.accepts_lasso(w.word_prefix, w.word_cycle),
+               "the counterexample word must be accepted by the system "
+               "automaton");
+  cert.require("spec-rejects",
+               !spec.accepts_lasso(w.word_prefix, w.word_cycle),
+               "the counterexample word must be rejected by the "
+               "specification automaton");
+  certify::require_certified(cert, "check_containment");
+}
+
 void require_spec(const TransitionStructure& spec, const char* what) {
   if (!spec.is_deterministic()) {
     throw std::invalid_argument(
@@ -249,10 +271,12 @@ ContainmentResult check_containment(const StreettAutomaton& sys,
                                     const core::WitnessOptions& options) {
   require_spec(spec, "Streett");
   ProductCtx ctx(sys, spec);
-  return ctx.check(
+  ContainmentResult out = ctx.check(
       cross(streett_phi(ctx, sys.acceptance),
             streett_neg_phi(ctx, spec.acceptance)),
       options);
+  certify_result(out, sys, spec);
+  return out;
 }
 
 ContainmentResult check_containment(const StreettAutomaton& sys,
@@ -260,9 +284,12 @@ ContainmentResult check_containment(const StreettAutomaton& sys,
                                     const core::WitnessOptions& options) {
   require_spec(spec, "Rabin");
   ProductCtx ctx(sys, spec);
-  return ctx.check(cross(streett_phi(ctx, sys.acceptance),
-                         rabin_neg_phi(ctx, spec.acceptance)),
-                   options);
+  ContainmentResult out =
+      ctx.check(cross(streett_phi(ctx, sys.acceptance),
+                      rabin_neg_phi(ctx, spec.acceptance)),
+                options);
+  certify_result(out, sys, spec);
+  return out;
 }
 
 ContainmentResult check_containment(const RabinAutomaton& sys,
@@ -270,9 +297,12 @@ ContainmentResult check_containment(const RabinAutomaton& sys,
                                     const core::WitnessOptions& options) {
   require_spec(spec, "Streett");
   ProductCtx ctx(sys, spec);
-  return ctx.check(cross(rabin_phi(ctx, sys.acceptance),
-                         streett_neg_phi(ctx, spec.acceptance)),
-                   options);
+  ContainmentResult out =
+      ctx.check(cross(rabin_phi(ctx, sys.acceptance),
+                      streett_neg_phi(ctx, spec.acceptance)),
+                options);
+  certify_result(out, sys, spec);
+  return out;
 }
 
 ContainmentResult check_containment(const RabinAutomaton& sys,
@@ -280,9 +310,12 @@ ContainmentResult check_containment(const RabinAutomaton& sys,
                                     const core::WitnessOptions& options) {
   require_spec(spec, "Rabin");
   ProductCtx ctx(sys, spec);
-  return ctx.check(cross(rabin_phi(ctx, sys.acceptance),
-                         rabin_neg_phi(ctx, spec.acceptance)),
-                   options);
+  ContainmentResult out =
+      ctx.check(cross(rabin_phi(ctx, sys.acceptance),
+                      rabin_neg_phi(ctx, spec.acceptance)),
+                options);
+  certify_result(out, sys, spec);
+  return out;
 }
 
 ContainmentResult check_containment(const StreettAutomaton& sys,
@@ -290,9 +323,12 @@ ContainmentResult check_containment(const StreettAutomaton& sys,
                                     const core::WitnessOptions& options) {
   require_spec(spec, "Muller");
   ProductCtx ctx(sys, spec);
-  return ctx.check(cross(streett_phi(ctx, sys.acceptance),
-                         muller_neg_phi(ctx, spec.acceptance)),
-                   options);
+  ContainmentResult out =
+      ctx.check(cross(streett_phi(ctx, sys.acceptance),
+                      muller_neg_phi(ctx, spec.acceptance)),
+                options);
+  certify_result(out, sys, spec);
+  return out;
 }
 
 ContainmentResult check_containment(const MullerAutomaton& sys,
@@ -300,9 +336,12 @@ ContainmentResult check_containment(const MullerAutomaton& sys,
                                     const core::WitnessOptions& options) {
   require_spec(spec, "Streett");
   ProductCtx ctx(sys, spec);
-  return ctx.check(cross(muller_phi(ctx, sys.acceptance),
-                         streett_neg_phi(ctx, spec.acceptance)),
-                   options);
+  ContainmentResult out =
+      ctx.check(cross(muller_phi(ctx, sys.acceptance),
+                      streett_neg_phi(ctx, spec.acceptance)),
+                options);
+  certify_result(out, sys, spec);
+  return out;
 }
 
 }  // namespace symcex::automata

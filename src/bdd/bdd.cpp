@@ -1,11 +1,14 @@
 #include "bdd/bdd.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
 #include <cmath>
 #include <limits>
 #include <ostream>
+#include <sstream>
 #include <stdexcept>
+#include <tuple>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -27,7 +30,25 @@ std::size_t hash3(std::uint32_t a, std::uint32_t b, std::uint32_t c) {
 
 constexpr std::uint32_t kMaxRefs = std::numeric_limits<std::uint32_t>::max();
 
+std::atomic<bool>& audits_flag() {
+#ifndef NDEBUG
+  constexpr bool kDefault = true;  // debug builds audit after every GC
+#else
+  constexpr bool kDefault = false;
+#endif
+  static std::atomic<bool> flag{kDefault || diag::env_flag("SYMCEX_AUDIT")};
+  return flag;
+}
+
 }  // namespace
+
+bool audits_enabled() {
+  return audits_flag().load(std::memory_order_relaxed);
+}
+
+void set_audits_enabled(bool on) {
+  audits_flag().store(on, std::memory_order_relaxed);
+}
 
 const char* apply_op_name(ApplyOp op) {
   switch (op) {
@@ -66,11 +87,11 @@ const char* apply_op_name(ApplyOp op) {
 // ---------------------------------------------------------------------------
 
 Bdd::Bdd(Manager* mgr, std::uint32_t idx) : mgr_(mgr), idx_(idx) {
-  mgr_->ref(idx_);
+  mgr_->handle_ref(idx_);
 }
 
 Bdd::Bdd(const Bdd& other) : mgr_(other.mgr_), idx_(other.idx_) {
-  if (mgr_ != nullptr) mgr_->ref(idx_);
+  if (mgr_ != nullptr) mgr_->handle_ref(idx_);
 }
 
 Bdd::Bdd(Bdd&& other) noexcept : mgr_(other.mgr_), idx_(other.idx_) {
@@ -80,8 +101,8 @@ Bdd::Bdd(Bdd&& other) noexcept : mgr_(other.mgr_), idx_(other.idx_) {
 
 Bdd& Bdd::operator=(const Bdd& other) {
   if (this == &other) return *this;
-  if (other.mgr_ != nullptr) other.mgr_->ref(other.idx_);
-  if (mgr_ != nullptr) mgr_->deref(idx_);
+  if (other.mgr_ != nullptr) other.mgr_->handle_ref(other.idx_);
+  if (mgr_ != nullptr) mgr_->handle_deref(idx_);
   mgr_ = other.mgr_;
   idx_ = other.idx_;
   return *this;
@@ -89,7 +110,7 @@ Bdd& Bdd::operator=(const Bdd& other) {
 
 Bdd& Bdd::operator=(Bdd&& other) noexcept {
   if (this == &other) return *this;
-  if (mgr_ != nullptr) mgr_->deref(idx_);
+  if (mgr_ != nullptr) mgr_->handle_deref(idx_);
   mgr_ = other.mgr_;
   idx_ = other.idx_;
   other.mgr_ = nullptr;
@@ -98,7 +119,7 @@ Bdd& Bdd::operator=(Bdd&& other) noexcept {
 }
 
 Bdd::~Bdd() {
-  if (mgr_ != nullptr) mgr_->deref(idx_);
+  if (mgr_ != nullptr) mgr_->handle_deref(idx_);
 }
 
 bool Bdd::is_true() const { return mgr_ != nullptr && idx_ == Manager::kTrue; }
@@ -252,7 +273,7 @@ double Bdd::sat_count(std::uint32_t num_vars) const {
   while (!stack.empty()) {
     auto [n, expanded] = stack.back();
     stack.pop_back();
-    if (memo.count(n) != 0) continue;
+    if (memo.contains(n)) continue;
     if (mgr_->level(n) == Manager::kTermVar) {
       memo[n] = (n == Manager::kTrue) ? 1.0 : 0.0;
       continue;
@@ -457,6 +478,17 @@ void Manager::deref(std::uint32_t idx) {
   if (nd.refs != kMaxRefs) --nd.refs;
 }
 
+void Manager::handle_ref(std::uint32_t idx) {
+  ref(idx);
+  ++external_handles_;
+}
+
+void Manager::handle_deref(std::uint32_t idx) {
+  deref(idx);
+  assert(external_handles_ > 0);
+  --external_handles_;
+}
+
 void Manager::maybe_collect() {
   if (!auto_gc_ || live_nodes_ < gc_threshold_) return;
   gc();
@@ -509,6 +541,239 @@ void Manager::gc() {
   stats_.gc_pause_ns += pause_ns;
   // Attribute the pause to whatever phase triggered the collection.
   diag::Registry::global().timer_add("gc_pause", pause_ns);
+  if (audits_enabled()) audit();
+}
+
+void Manager::audit() const {
+  diag::Registry::global().add_in("bdd", "audit_runs", 1);
+  std::string report = audit_check();
+  if (!report.empty()) {
+    diag::Registry::global().add_in("bdd", "audit_failures", 1);
+    throw std::logic_error(report);
+  }
+}
+
+std::string Manager::audit_check() const {
+  std::ostringstream os;
+  const auto fail = [&os](const std::string& what) {
+    os << "Manager::audit: " << what;
+    return os.str();
+  };
+  const std::size_t n_slots = nodes_.size();
+  if (n_slots < 2 || nodes_[kFalse].var != kTermVar ||
+      nodes_[kTrue].var != kTermVar) {
+    return fail("terminal slots corrupted");
+  }
+
+  // -- classify slots, count live nodes, verify per-node shape --------------
+  std::size_t live = 0;
+  std::size_t freed = 0;
+  for (std::uint32_t n = 0; n < n_slots; ++n) {
+    const Node& nd = nodes_[n];
+    if (nd.var == kFreeVar) {
+      ++freed;
+      continue;
+    }
+    ++live;
+    if (nd.var == kTermVar) {
+      if (n != kFalse && n != kTrue) {
+        return fail("terminal marker on interior node " + std::to_string(n));
+      }
+      continue;
+    }
+    if (nd.var >= num_vars_) {
+      return fail("node " + std::to_string(n) + " has unknown variable " +
+                  std::to_string(nd.var));
+    }
+    if (nd.lo >= n_slots || nd.hi >= n_slots) {
+      return fail("node " + std::to_string(n) + " has out-of-bounds child");
+    }
+    if (nodes_[nd.lo].var == kFreeVar || nodes_[nd.hi].var == kFreeVar) {
+      return fail("node " + std::to_string(n) + " references a freed child");
+    }
+    if (nd.lo == nd.hi) {
+      return fail("redundant node " + std::to_string(n) +
+                  " (lo == hi survived mk)");
+    }
+    // Ordering: the children's levels are strictly below (kTermVar is the
+    // numeric maximum, so terminals always satisfy this).
+    if (nd.var >= nodes_[nd.lo].var || nd.var >= nodes_[nd.hi].var) {
+      return fail("variable order violated at node " + std::to_string(n));
+    }
+  }
+  if (live != live_nodes_) {
+    return fail("live_nodes_ (" + std::to_string(live_nodes_) +
+                ") disagrees with a fresh count (" + std::to_string(live) +
+                ")");
+  }
+
+  // -- free-list consistency ------------------------------------------------
+  if (free_list_.size() != freed) {
+    return fail("free list size (" + std::to_string(free_list_.size()) +
+                ") disagrees with freed slot count (" + std::to_string(freed) +
+                ")");
+  }
+  {
+    std::vector<bool> on_free_list(n_slots, false);
+    for (const std::uint32_t n : free_list_) {
+      if (n >= n_slots || nodes_[n].var != kFreeVar) {
+        return fail("free list references live slot " + std::to_string(n));
+      }
+      if (on_free_list[n]) {
+        return fail("free list holds slot " + std::to_string(n) + " twice");
+      }
+      on_free_list[n] = true;
+    }
+  }
+
+  // -- unique-table canonicality --------------------------------------------
+  // Every live non-terminal must be threaded in exactly its own bucket, and
+  // the chains must cover all of them exactly once.
+  {
+    std::vector<bool> seen(n_slots, false);
+    std::size_t chained = 0;
+    for (std::size_t b = 0; b < buckets_.size(); ++b) {
+      std::size_t steps = 0;
+      for (std::uint32_t n = buckets_[b]; n != kNil; n = nodes_[n].next) {
+        if (n >= n_slots || nodes_[n].var == kFreeVar ||
+            nodes_[n].var == kTermVar) {
+          return fail("bucket " + std::to_string(b) +
+                      " chains a non-interior slot " + std::to_string(n));
+        }
+        if (seen[n]) {
+          return fail("node " + std::to_string(n) +
+                      " appears twice in the unique table");
+        }
+        seen[n] = true;
+        if (bucket_of(nodes_[n].var, nodes_[n].lo, nodes_[n].hi) != b) {
+          return fail("node " + std::to_string(n) + " is in the wrong bucket");
+        }
+        ++chained;
+        if (++steps > live_nodes_) {
+          return fail("cycle in bucket chain " + std::to_string(b));
+        }
+      }
+    }
+    if (chained != live - 2) {  // all live nodes except the two terminals
+      return fail("unique table covers " + std::to_string(chained) +
+                  " nodes, expected " + std::to_string(live - 2));
+    }
+  }
+  {
+    // No duplicate (var, lo, hi): hash-consing must be airtight.
+    std::vector<std::tuple<std::uint32_t, std::uint32_t, std::uint32_t>>
+        triples;
+    triples.reserve(live);
+    for (std::uint32_t n = 2; n < n_slots; ++n) {
+      const Node& nd = nodes_[n];
+      if (nd.var == kFreeVar || nd.var == kTermVar) continue;
+      triples.emplace_back(nd.var, nd.lo, nd.hi);
+    }
+    std::sort(triples.begin(), triples.end());
+    if (std::adjacent_find(triples.begin(), triples.end()) != triples.end()) {
+      return fail("duplicate (var, lo, hi) node in the unique table");
+    }
+  }
+
+  // -- refcount census -------------------------------------------------------
+  // Each node's count covers its internal parents; the surplus across all
+  // unsaturated nodes is what external Bdd handles contribute, so it cannot
+  // exceed the census the handle lifecycle maintains.  (Handles on
+  // saturated nodes -- e.g. the terminals -- are invisible here, hence <=.)
+  {
+    std::vector<std::uint32_t> parents(n_slots, 0);
+    for (std::uint32_t n = 2; n < n_slots; ++n) {
+      const Node& nd = nodes_[n];
+      if (nd.var == kFreeVar || nd.var == kTermVar) continue;
+      ++parents[nd.lo];
+      ++parents[nd.hi];
+    }
+    std::size_t surplus = 0;
+    for (std::uint32_t n = 0; n < n_slots; ++n) {
+      const Node& nd = nodes_[n];
+      if (nd.var == kFreeVar || nd.refs == kMaxRefs) continue;
+      if (nd.refs < parents[n]) {
+        return fail("node " + std::to_string(n) + " has " +
+                    std::to_string(nd.refs) + " refs but " +
+                    std::to_string(parents[n]) + " internal parents");
+      }
+      surplus += nd.refs - parents[n];
+    }
+    if (surplus > external_handles_) {
+      return fail("refcount census: " + std::to_string(surplus) +
+                  " handle-attributed refs exceed the " +
+                  std::to_string(external_handles_) +
+                  " live external handles");
+    }
+  }
+
+  // -- computed-cache validity ----------------------------------------------
+  {
+    const auto is_live = [&](std::uint32_t idx) {
+      return idx < n_slots && nodes_[idx].var != kFreeVar;
+    };
+    const auto eval_raw = [&](std::uint32_t idx, const std::vector<bool>& a) {
+      while (nodes_[idx].var != kTermVar) {
+        idx = a[nodes_[idx].var] ? nodes_[idx].hi : nodes_[idx].lo;
+      }
+      return idx == kTrue;
+    };
+    // Fixed sample assignments for the semantic revalidation.
+    std::vector<std::vector<bool>> samples;
+    for (int pattern = 0; pattern < 4; ++pattern) {
+      std::vector<bool> a(num_vars_, false);
+      for (std::size_t v = 0; v < num_vars_; ++v) {
+        switch (pattern) {
+          case 0: a[v] = false; break;
+          case 1: a[v] = true; break;
+          case 2: a[v] = (v % 2) == 1; break;
+          default: a[v] = (v % 3) == 0; break;
+        }
+      }
+      samples.push_back(std::move(a));
+    }
+    std::size_t revalidated = 0;
+    constexpr std::size_t kSampleLimit = 64;
+    for (std::size_t slot = 0; slot < cache_.size(); ++slot) {
+      const CacheEntry& e = cache_[slot];
+      if (!e.valid) continue;
+      if (e.op < kOpNot || e.op > kOpCompose) {
+        return fail("cache slot " + std::to_string(slot) +
+                    " holds unknown op " + std::to_string(e.op));
+      }
+      // Which operand words are node indices (kOpCompose's h is a variable).
+      const bool g_is_node = e.op != kOpNot;
+      const bool h_is_node = e.op == kOpIte || e.op == kOpAndExists;
+      if (!is_live(e.result) || !is_live(e.f) ||
+          (g_is_node && !is_live(e.g)) || (h_is_node && !is_live(e.h))) {
+        return fail("cache slot " + std::to_string(slot) +
+                    " references a dead or out-of-bounds node");
+      }
+      if (revalidated < kSampleLimit &&
+          (e.op == kOpNot || e.op == kOpAnd || e.op == kOpOr ||
+           e.op == kOpXor)) {
+        ++revalidated;
+        for (const auto& a : samples) {
+          const bool fv = eval_raw(e.f, a);
+          const bool rv = eval_raw(e.result, a);
+          bool expect = false;
+          switch (e.op) {
+            case kOpNot: expect = !fv; break;
+            case kOpAnd: expect = fv && eval_raw(e.g, a); break;
+            case kOpOr: expect = fv || eval_raw(e.g, a); break;
+            default: expect = fv != eval_raw(e.g, a); break;
+          }
+          if (rv != expect) {
+            return fail("cache slot " + std::to_string(slot) + " (op " +
+                        std::to_string(e.op) +
+                        ") fails semantic revalidation");
+          }
+        }
+      }
+    }
+  }
+
+  return "";
 }
 
 void Manager::check_mine(const Bdd& b, const char* what) const {

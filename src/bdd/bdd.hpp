@@ -274,8 +274,37 @@ class Manager {
       const std::function<void(const std::vector<bool>&)>& visit);
 
   /// Force a garbage collection now.  All nodes unreachable from live Bdd
-  /// handles are reclaimed; the computed cache is cleared.
+  /// handles are reclaimed; the computed cache is cleared.  When the audit
+  /// toggle is on (see audits_enabled) the collection is followed by audit().
   void gc();
+
+  /// Structural audit in the style of CUDD's Cudd_DebugCheck.  Verifies:
+  ///
+  ///   * unique-table canonicality: every live non-terminal is threaded in
+  ///     exactly its own bucket chain, and no (var, lo, hi) triple occurs
+  ///     twice (hash-consing never duplicated a node);
+  ///   * ordering: every node's variable precedes both children's;
+  ///   * reduction: no redundant lo == hi node survived mk();
+  ///   * refcount census: every node's count covers its internal parents,
+  ///     and the surplus over all nodes is covered by the live external
+  ///     Bdd handles attached to this manager;
+  ///   * free-list consistency: freed slots and the free list agree, and
+  ///     live_nodes_ matches a fresh count;
+  ///   * computed-cache validity: every valid entry references in-bounds,
+  ///     live nodes, and a sample of not/and/or/xor entries is semantically
+  ///     revalidated by evaluating operands and result on fixed
+  ///     assignments.
+  ///
+  /// Returns "" when consistent, else a diagnostic naming the first
+  /// violated invariant.
+  [[nodiscard]] std::string audit_check() const;
+  /// audit_check(), throwing std::logic_error on any violation.
+  void audit() const;
+
+  /// Number of live external Bdd handles attached to this manager.
+  [[nodiscard]] std::size_t external_handles() const {
+    return external_handles_;
+  }
 
   /// Write the DAG rooted at the given functions in Graphviz DOT syntax.
   /// `names[v]` labels variable v (empty / short vector -> "v<i>").
@@ -325,6 +354,10 @@ class Manager {
   std::uint32_t mk(std::uint32_t var, std::uint32_t lo, std::uint32_t hi);
   void ref(std::uint32_t idx);
   void deref(std::uint32_t idx);
+  /// ref/deref from the Bdd handle lifecycle: additionally maintain the
+  /// external-handle census that audit_check() verifies against.
+  void handle_ref(std::uint32_t idx);
+  void handle_deref(std::uint32_t idx);
   [[nodiscard]] std::uint32_t level(std::uint32_t idx) const {
     return nodes_[idx].var;
   }
@@ -372,10 +405,17 @@ class Manager {
   std::vector<CacheEntry> cache_;
   std::size_t num_vars_ = 0;
   std::size_t live_nodes_ = 0;
+  std::size_t external_handles_ = 0;
   std::size_t gc_threshold_ = 0;
   bool auto_gc_ = true;
   ManagerStats stats_;
   int diag_source_id_ = -1;  // registration with diag::Registry::global()
 };
+
+/// Should gc() follow each collection with Manager::audit()?  Defaults to
+/// on in debug builds (NDEBUG not defined) and to the SYMCEX_AUDIT
+/// environment toggle otherwise; override with set_audits_enabled().
+[[nodiscard]] bool audits_enabled();
+void set_audits_enabled(bool on);
 
 }  // namespace symcex::bdd

@@ -1,0 +1,513 @@
+#include "certify/certify.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <utility>
+
+#include "diag/metrics.hpp"
+#include "explicit/explicit_graph.hpp"
+
+namespace symcex::certify {
+
+namespace {
+
+std::atomic<bool>& enabled_flag() {
+  static std::atomic<bool> flag{diag::env_flag("SYMCEX_CERTIFY")};
+  return flag;
+}
+
+/// Human position of combined-list index k in a prefix+cycle trace.
+std::string position(std::size_t k, std::size_t prefix_len) {
+  if (k < prefix_len) return "prefix[" + std::to_string(k) + "]";
+  return "cycle[" + std::to_string(k - prefix_len) + "]";
+}
+
+/// Fold the certificate totals into the diag registry (no-op when
+/// diagnostics are disabled).
+void count_certificate(const Certificate& cert) {
+  auto& reg = diag::Registry::global();
+  reg.add_in("certify", "certificates", 1);
+  reg.add_in("certify", "obligations", cert.obligations.size());
+  std::size_t failed = 0;
+  for (const auto& o : cert.obligations) {
+    if (!o.ok) ++failed;
+  }
+  if (failed != 0) {
+    reg.add_in("certify", "obligations_failed", failed);
+    reg.add_in("certify", "certificates_failed", 1);
+  }
+}
+
+}  // namespace
+
+bool enabled() { return enabled_flag().load(std::memory_order_relaxed); }
+
+void set_enabled(bool on) {
+  enabled_flag().store(on, std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// Certificate
+// ---------------------------------------------------------------------------
+
+bool Certificate::ok() const {
+  return std::all_of(obligations.begin(), obligations.end(),
+                     [](const Obligation& o) { return o.ok; });
+}
+
+const Obligation* Certificate::first_failure() const {
+  for (const auto& o : obligations) {
+    if (!o.ok) return &o;
+  }
+  return nullptr;
+}
+
+std::string Certificate::to_string() const {
+  std::ostringstream os;
+  for (const auto& o : obligations) {
+    os << (o.ok ? "PASS " : "FAIL ") << o.name;
+    if (!o.detail.empty()) os << ": " << o.detail;
+    os << '\n';
+  }
+  return os.str();
+}
+
+void Certificate::require(std::string name, bool ok, std::string detail) {
+  obligations.push_back({std::move(name), ok, std::move(detail)});
+}
+
+CertificationError::CertificationError(const std::string& context,
+                                       Certificate certificate)
+    : std::logic_error([&] {
+        const Obligation* f = certificate.first_failure();
+        std::string msg = context + ": trace certification failed";
+        if (f != nullptr) {
+          msg += " at obligation '" + f->name + "'";
+          if (!f->detail.empty()) msg += " (" + f->detail + ")";
+        }
+        return msg;
+      }()),
+      cert_(std::move(certificate)) {}
+
+void require_certified(const Certificate& certificate,
+                       const std::string& context) {
+  if (certificate.ok()) return;
+  diag::Registry::global().add_in("certify", "failures", 1);
+  throw CertificationError(context, certificate);
+}
+
+// ---------------------------------------------------------------------------
+// TraceCertifier
+// ---------------------------------------------------------------------------
+
+/// Lazily-built state of the cross-engine pass: the enumerated reachable
+/// fragment plus a concrete-assignment -> StateId index.
+struct TraceCertifier::CrossCheck {
+  bool available = false;
+  std::string note;  ///< why the pass is skipped, when unavailable
+  enumerative::Enumerated data;
+  std::map<std::vector<bool>, enumerative::StateId> index;
+};
+
+TraceCertifier::TraceCertifier(const ts::TransitionSystem& ts,
+                               const CertifierOptions& options)
+    : ts_(ts), options_(options) {}
+
+TraceCertifier::~TraceCertifier() = default;
+
+bool TraceCertifier::decode_state(const bdd::Bdd& state,
+                                  std::vector<bool>& values,
+                                  std::string& why) const {
+  if (state.is_null()) {
+    why = "null state handle";
+    return false;
+  }
+  if (state.is_false()) {
+    why = "empty (false) state set";
+    return false;
+  }
+  bdd::Manager* mgr = state.manager();
+  const std::size_t n = ts_.num_state_vars();
+  std::vector<std::uint32_t> curs(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    curs[i] = static_cast<std::uint32_t>(2 * i);
+  }
+  try {
+    values = mgr->pick_one_assignment(state, curs);
+  } catch (const std::exception& e) {
+    // Support outside the current rail (e.g. a next-rail variable leaked
+    // into the trace) makes the pick reject the variable list.
+    why = std::string("not a current-rail state: ") + e.what();
+    return false;
+  }
+  // Canonicity does the counting for us: the handle denotes exactly one
+  // state iff re-encoding the picked assignment reproduces it.
+  if (mgr->minterm(curs, values) != state) {
+    why = "denotes more than one state";
+    return false;
+  }
+  return true;
+}
+
+bool TraceCertifier::eval_on_state(const bdd::Bdd& predicate,
+                                   const std::vector<bool>& state) const {
+  bdd::Manager* mgr = predicate.manager();
+  std::vector<bool> assignment(mgr->num_vars(), false);
+  for (std::size_t i = 0; i < state.size(); ++i) {
+    assignment[2 * i] = state[i];
+  }
+  return predicate.eval(assignment);
+}
+
+bool TraceCertifier::has_transition(const std::vector<bool>& from,
+                                    const std::vector<bool>& to) const {
+  // Evaluate every conjunct of the (partitioned) relation on the combined
+  // (current, next) assignment -- a plain top-down eval per part, fully
+  // independent of the AndExists/rename machinery the generators used.
+  const std::vector<bdd::Bdd>& parts = ts_.trans_parts();
+  if (parts.empty()) return true;  // empty conjunction: the total relation
+  bdd::Manager* mgr = parts.front().manager();
+  std::vector<bool> assignment(mgr->num_vars(), false);
+  for (std::size_t i = 0; i < from.size(); ++i) {
+    assignment[2 * i] = from[i];
+    assignment[2 * i + 1] = to[i];
+  }
+  return std::all_of(parts.begin(), parts.end(), [&](const bdd::Bdd& part) {
+    return part.eval(assignment);
+  });
+}
+
+void TraceCertifier::check_structure(
+    const core::Trace& trace, Certificate& cert,
+    std::vector<std::vector<bool>>& decoded) const {
+  const std::size_t prefix_len = trace.prefix.size();
+  const std::size_t total = trace.length();
+  cert.require("trace-nonempty", total > 0);
+  if (total == 0) return;
+
+  // Combined state list: prefix then one unrolling of the cycle.  (Built
+  // from the fields directly; Trace::states() lives in a layer above us.)
+  std::vector<bdd::Bdd> states;
+  states.reserve(total);
+  states.insert(states.end(), trace.prefix.begin(), trace.prefix.end());
+  states.insert(states.end(), trace.cycle.begin(), trace.cycle.end());
+
+  // Every entry must denote exactly one concrete state.  An empty decoded
+  // entry marks a failure; edges touching it are not evaluable.
+  decoded.assign(total, {});
+  for (std::size_t k = 0; k < total; ++k) {
+    std::vector<bool> values;
+    std::string why;
+    const bool ok = decode_state(states[k], values, why);
+    cert.require("single-state[" + std::to_string(k) + "]", ok,
+                 ok ? position(k, prefix_len) : position(k, prefix_len) + ": " + why);
+    if (ok) decoded[k] = std::move(values);
+  }
+
+  // Every consecutive pair must be a transition.
+  for (std::size_t k = 0; k + 1 < total; ++k) {
+    if (decoded[k].empty() || decoded[k + 1].empty()) continue;
+    cert.require("edge[" + std::to_string(k) + "]",
+                 has_transition(decoded[k], decoded[k + 1]),
+                 position(k, prefix_len) + " -> " + position(k + 1, prefix_len));
+  }
+
+  // The wrap-around edge closing the cycle.
+  if (trace.is_lasso() && !decoded[total - 1].empty() &&
+      !decoded[prefix_len].empty()) {
+    cert.require("cycle-closed",
+                 has_transition(decoded[total - 1], decoded[prefix_len]),
+                 position(total - 1, prefix_len) + " -> cycle[0]");
+  }
+
+  cross_check_edges(decoded, trace.is_lasso() ? prefix_len : total, cert);
+}
+
+void TraceCertifier::cross_check_edges(
+    const std::vector<std::vector<bool>>& decoded, std::size_t cycle_start,
+    Certificate& cert) const {
+  if (options_.cross_check_max_states == 0) return;
+  if (cross_ == nullptr) {
+    cross_ = std::make_unique<CrossCheck>();
+    try {
+      cross_->data = enumerative::enumerate(ts_, options_.cross_check_max_states);
+      for (std::size_t id = 0; id < cross_->data.concrete.size(); ++id) {
+        cross_->index.emplace(ts_.state_values(cross_->data.concrete[id]),
+                              static_cast<enumerative::StateId>(id));
+      }
+      cross_->available = true;
+    } catch (const std::length_error&) {
+      cross_->note = "model exceeds the cross-check enumeration bound";
+    }
+  }
+  if (!cross_->available) {
+    cert.require("cross-engine", true, "skipped: " + cross_->note);
+    return;
+  }
+
+  const auto lookup = [&](const std::vector<bool>& s)
+      -> std::optional<enumerative::StateId> {
+    const auto it = cross_->index.find(s);
+    if (it == cross_->index.end()) return std::nullopt;
+    return it->second;
+  };
+  const auto check_edge = [&](std::size_t k, std::size_t from, std::size_t to) {
+    if (decoded[from].empty() || decoded[to].empty()) return;
+    const auto a = lookup(decoded[from]);
+    const auto b = lookup(decoded[to]);
+    const std::string name = "xcheck-edge[" + std::to_string(k) + "]";
+    if (!a || !b) {
+      // Witnesses may legitimately start outside the reachable fragment
+      // (callers can ask for a witness from an arbitrary state set); the
+      // eval-based primary edge check above still covers those edges.
+      cert.require(name, true, "skipped: endpoint outside reachable fragment");
+      return;
+    }
+    const auto& succ = cross_->data.graph.succ[*a];
+    cert.require(name, std::find(succ.begin(), succ.end(), *b) != succ.end(),
+                 "explicit successor list of state " + std::to_string(*a));
+  };
+
+  const std::size_t total = decoded.size();
+  for (std::size_t k = 0; k + 1 < total; ++k) check_edge(k, k, k + 1);
+  if (cycle_start < total) check_edge(total - 1, total - 1, cycle_start);
+}
+
+Certificate TraceCertifier::certify_path(const core::Trace& trace) const {
+  Certificate cert;
+  std::vector<std::vector<bool>> decoded;
+  check_structure(trace, cert, decoded);
+  count_certificate(cert);
+  return cert;
+}
+
+Certificate TraceCertifier::certify_eg(
+    const core::Trace& trace, const bdd::Bdd& f,
+    const std::vector<bdd::Bdd>& constraints) const {
+  Certificate cert;
+  std::vector<std::vector<bool>> decoded;
+  check_structure(trace, cert, decoded);
+  cert.require("lasso", trace.is_lasso(),
+               "EG witnesses must end in a repeating cycle");
+
+  const std::size_t prefix_len = trace.prefix.size();
+  for (std::size_t k = 0; k < decoded.size(); ++k) {
+    if (decoded[k].empty()) continue;
+    cert.require("eg-invariant[" + std::to_string(k) + "]",
+                 eval_on_state(f, decoded[k]),
+                 position(k, prefix_len) + " must satisfy f");
+  }
+  for (std::size_t j = 0; j < constraints.size(); ++j) {
+    bool visited = false;
+    for (std::size_t k = prefix_len; k < decoded.size(); ++k) {
+      if (!decoded[k].empty() && eval_on_state(constraints[j], decoded[k])) {
+        visited = true;
+        break;
+      }
+    }
+    cert.require("fairness[" + std::to_string(j) + "]", visited,
+                 "constraint " + std::to_string(j) +
+                     " must be visited on the cycle");
+  }
+  count_certificate(cert);
+  return cert;
+}
+
+Certificate TraceCertifier::certify_eu(const core::Trace& trace,
+                                       const bdd::Bdd& f,
+                                       const bdd::Bdd& g) const {
+  Certificate cert;
+  std::vector<std::vector<bool>> decoded;
+  check_structure(trace, cert, decoded);
+
+  const std::size_t prefix_len = trace.prefix.size();
+  std::size_t target = decoded.size();
+  for (std::size_t k = 0; k < decoded.size(); ++k) {
+    if (!decoded[k].empty() && eval_on_state(g, decoded[k])) {
+      target = k;
+      break;
+    }
+  }
+  cert.require("eu-target", target < decoded.size(),
+               "some state must satisfy g");
+  for (std::size_t k = 0; k < target && k < decoded.size(); ++k) {
+    if (decoded[k].empty()) continue;
+    cert.require("eu-invariant[" + std::to_string(k) + "]",
+                 eval_on_state(f, decoded[k]),
+                 position(k, prefix_len) + " must satisfy f before the g-state");
+  }
+  count_certificate(cert);
+  return cert;
+}
+
+Certificate TraceCertifier::certify_ex(const core::Trace& trace,
+                                       const bdd::Bdd& f) const {
+  Certificate cert;
+  std::vector<std::vector<bool>> decoded;
+  check_structure(trace, cert, decoded);
+  cert.require("ex-length", trace.length() >= 2,
+               "an EX witness needs a successor state");
+  if (decoded.size() >= 2 && !decoded[1].empty()) {
+    cert.require("ex-target", eval_on_state(f, decoded[1]),
+                 "the second state must satisfy f");
+  }
+  count_certificate(cert);
+  return cert;
+}
+
+Certificate TraceCertifier::certify_fragment(
+    const core::Trace& trace, const std::vector<FragmentDuty>& duties) const {
+  Certificate cert;
+  std::vector<std::vector<bool>> decoded;
+  check_structure(trace, cert, decoded);
+  cert.require("lasso", trace.is_lasso(),
+               "fragment witnesses must end in a repeating cycle");
+
+  const std::size_t prefix_len = trace.prefix.size();
+  for (std::size_t j = 0; j < duties.size(); ++j) {
+    const FragmentDuty& duty = duties[j];
+    // GF side: the target is hit somewhere on the cycle.
+    bool gf_ok = false;
+    if (!duty.gf.is_null()) {
+      for (std::size_t k = prefix_len; k < decoded.size(); ++k) {
+        if (!decoded[k].empty() && eval_on_state(duty.gf, decoded[k])) {
+          gf_ok = true;
+          break;
+        }
+      }
+    }
+    // FG side: the predicate is invariant on the cycle (nonempty cycle,
+    // which the "lasso" obligation enforces separately).
+    bool fg_ok = !duty.fg.is_null() && prefix_len < decoded.size();
+    if (fg_ok) {
+      for (std::size_t k = prefix_len; k < decoded.size(); ++k) {
+        if (decoded[k].empty() || !eval_on_state(duty.fg, decoded[k])) {
+          fg_ok = false;
+          break;
+        }
+      }
+    }
+    cert.require("fragment[" + std::to_string(j) + "]", gf_ok || fg_ok,
+                 "conjunct " + std::to_string(j) +
+                     " needs its GF target on the cycle or its FG predicate "
+                     "invariant there");
+  }
+  count_certificate(cert);
+  return cert;
+}
+
+// ---------------------------------------------------------------------------
+// Explicit-engine witnesses
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Shared structure pass over an explicit graph; returns the combined
+/// state list (prefix then cycle) for the semantic passes.
+std::vector<enumerative::StateId> check_explicit_structure(
+    const enumerative::Graph& graph, const enumerative::FiniteWitness& w,
+    Certificate& cert) {
+  const std::size_t prefix_len = w.prefix.size();
+  const std::size_t total = w.length();
+  cert.require("trace-nonempty", total > 0);
+
+  std::vector<enumerative::StateId> states;
+  states.reserve(total);
+  states.insert(states.end(), w.prefix.begin(), w.prefix.end());
+  states.insert(states.end(), w.cycle.begin(), w.cycle.end());
+
+  bool ids_ok = true;
+  for (std::size_t k = 0; k < total; ++k) {
+    if (states[k] >= graph.num_states()) ids_ok = false;
+  }
+  cert.require("state-ids", ids_ok, "every id must name a graph state");
+  if (!ids_ok) return {};
+
+  const auto has_edge = [&](enumerative::StateId a, enumerative::StateId b) {
+    const auto& succ = graph.succ[a];
+    return std::find(succ.begin(), succ.end(), b) != succ.end();
+  };
+  for (std::size_t k = 0; k + 1 < total; ++k) {
+    cert.require("edge[" + std::to_string(k) + "]",
+                 has_edge(states[k], states[k + 1]),
+                 position(k, prefix_len) + " -> " + position(k + 1, prefix_len));
+  }
+  if (!w.cycle.empty()) {
+    cert.require("cycle-closed", has_edge(states[total - 1], states[prefix_len]),
+                 position(total - 1, prefix_len) + " -> cycle[0]");
+  }
+  return states;
+}
+
+bool in_set(const enumerative::StateSet& set, enumerative::StateId s) {
+  return s < set.size() && set[s];
+}
+
+}  // namespace
+
+Certificate certify_explicit_path(const enumerative::Graph& graph,
+                                  const enumerative::FiniteWitness& w) {
+  Certificate cert;
+  check_explicit_structure(graph, w, cert);
+  count_certificate(cert);
+  return cert;
+}
+
+Certificate certify_explicit_eg(const enumerative::Graph& graph,
+                                const enumerative::FiniteWitness& w,
+                                const enumerative::StateSet& f) {
+  Certificate cert;
+  const auto states = check_explicit_structure(graph, w, cert);
+  cert.require("lasso", !w.cycle.empty(),
+               "EG witnesses must end in a repeating cycle");
+  const std::size_t prefix_len = w.prefix.size();
+  for (std::size_t k = 0; k < states.size(); ++k) {
+    cert.require("eg-invariant[" + std::to_string(k) + "]",
+                 in_set(f, states[k]),
+                 position(k, prefix_len) + " must satisfy f");
+  }
+  for (std::size_t j = 0; j < graph.fairness.size(); ++j) {
+    bool visited = false;
+    for (std::size_t k = prefix_len; k < states.size(); ++k) {
+      if (in_set(graph.fairness[j], states[k])) {
+        visited = true;
+        break;
+      }
+    }
+    cert.require("fairness[" + std::to_string(j) + "]", visited,
+                 "fairness set " + std::to_string(j) +
+                     " must be visited on the cycle");
+  }
+  count_certificate(cert);
+  return cert;
+}
+
+Certificate certify_explicit_eu(const enumerative::Graph& graph,
+                                const enumerative::FiniteWitness& w,
+                                const enumerative::StateSet& f,
+                                const enumerative::StateSet& g) {
+  Certificate cert;
+  const auto states = check_explicit_structure(graph, w, cert);
+  const std::size_t prefix_len = w.prefix.size();
+  std::size_t target = states.size();
+  for (std::size_t k = 0; k < states.size(); ++k) {
+    if (in_set(g, states[k])) {
+      target = k;
+      break;
+    }
+  }
+  cert.require("eu-target", target < states.size(),
+               "some state must satisfy g");
+  for (std::size_t k = 0; k < target; ++k) {
+    cert.require("eu-invariant[" + std::to_string(k) + "]",
+                 in_set(f, states[k]),
+                 position(k, prefix_len) + " must satisfy f before the g-state");
+  }
+  count_certificate(cert);
+  return cert;
+}
+
+}  // namespace symcex::certify

@@ -3,6 +3,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "certify/certify.hpp"
+
 namespace symcex::core {
 
 using ctl::Formula;
@@ -62,6 +64,14 @@ Explanation Explainer::explain(const Formula::Ptr& spec) {
   const bool informative =
       walked_temporal_ || trace.is_lasso() || trace.length() > 1 || !out.holds;
   if (informative) {
+    // The stitched trace mixes sub-formula semantics, so the certifier
+    // re-checks the structural duties: every state a single concrete
+    // minterm, every step a transition, the lasso (if any) closed.
+    if (certify::enabled()) {
+      certify::TraceCertifier certifier(ts);
+      certify::require_certified(certifier.certify_path(trace),
+                                 "Explainer::explain");
+    }
     out.trace = std::move(trace);
     out.obligations = obligations_;
   }

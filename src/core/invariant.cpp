@@ -2,6 +2,8 @@
 
 #include <vector>
 
+#include "certify/certify.hpp"
+
 namespace symcex::core {
 
 InvariantResult check_invariant(Checker& checker, const bdd::Bdd& invariant,
@@ -31,6 +33,13 @@ InvariantResult check_invariant(Checker& checker, const bdd::Bdd& invariant,
         WitnessGenerator generator(checker);
         generator.extend_to_fair(trace);
       }
+      // An invariant counterexample is an E[true U !invariant] witness.
+      if (certify::enabled()) {
+        certify::TraceCertifier certifier(ts);
+        certify::require_certified(
+            certifier.certify_eu(trace, ts.manager().one(), !invariant),
+            "check_invariant");
+      }
       out.holds = false;
       out.counterexample = std::move(trace);
       out.depth = layers.size() - 1;
@@ -43,7 +52,7 @@ InvariantResult check_invariant(Checker& checker, const bdd::Bdd& invariant,
     ++out.depth;
   }
   out.holds = true;
-  out.depth = layers.size() == 0 ? 0 : layers.size() - 1;
+  out.depth = layers.empty() ? 0 : layers.size() - 1;
   return out;
 }
 

@@ -70,7 +70,13 @@ Trace WitnessGenerator::eg(const FairEG& info, const bdd::Bdd& f_states,
         "WitnessGenerator::eg: no state in 'from' satisfies EG f under the "
         "fairness constraints");
   }
-  return eg_lasso(info, f_states, ts.pick_state(start_set));
+  Trace out = eg_lasso(info, f_states, ts.pick_state(start_set));
+  if (certify::enabled()) {
+    certify::require_certified(
+        certifier().certify_eg(out, f_states, info.constraints),
+        "WitnessGenerator::eg");
+  }
+  return out;
 }
 
 Trace WitnessGenerator::eg_lasso(const FairEG& info, const bdd::Bdd& f_states,
@@ -233,6 +239,10 @@ Trace WitnessGenerator::eu(const bdd::Bdd& f, const bdd::Bdd& g,
   Trace out;
   out.prefix = std::move(path);
   if (options_.extend_to_fair_path) extend_to_fair(out);
+  if (certify::enabled()) {
+    certify::require_certified(certifier().certify_eu(out, f, g),
+                               "WitnessGenerator::eu");
+  }
   return out;
 }
 
@@ -272,7 +282,19 @@ Trace WitnessGenerator::ex(const bdd::Bdd& f, const bdd::Bdd& from) {
   Trace out;
   out.prefix = {s, t};
   if (options_.extend_to_fair_path) extend_to_fair(out);
+  if (certify::enabled()) {
+    certify::require_certified(certifier().certify_ex(out, f),
+                               "WitnessGenerator::ex");
+  }
   return out;
+}
+
+certify::TraceCertifier& WitnessGenerator::certifier() {
+  if (!certifier_) {
+    certifier_ =
+        std::make_unique<certify::TraceCertifier>(checker_.system());
+  }
+  return *certifier_;
 }
 
 }  // namespace symcex::core

@@ -31,8 +31,10 @@
 #pragma once
 
 #include <cstddef>
+#include <memory>
 
 #include "bdd/bdd.hpp"
+#include "certify/certify.hpp"
 #include "core/checker.hpp"
 #include "core/trace.hpp"
 
@@ -111,12 +113,17 @@ class WitnessGenerator {
                                bdd::Bdd s);
   /// Cached CheckFairEG(true) with rings (reused by every extension).
   [[nodiscard]] const FairEG& fair_true();
+  /// Lazily constructed certifier used when certify::enabled(): every
+  /// emitted trace is re-checked through the independent semantic checker
+  /// and a failed obligation aborts with certify::CertificationError.
+  [[nodiscard]] certify::TraceCertifier& certifier();
 
   Checker& checker_;
   WitnessOptions options_;
   WitnessStats stats_;
   FairEG fair_true_info_;
   bool have_fair_true_ = false;
+  std::unique_ptr<certify::TraceCertifier> certifier_;
 };
 
 }  // namespace symcex::core

@@ -3,6 +3,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "certify/certify.hpp"
 #include "diag/metrics.hpp"
 
 namespace symcex::ctlstar {
@@ -246,6 +247,21 @@ core::Trace StarChecker::conjunction_witness(const std::vector<Conjunct>& cs,
   out.prefix.insert(out.prefix.end(), lasso.prefix.begin(),
                     lasso.prefix.end());
   out.cycle = std::move(lasso.cycle);
+  // Re-check the stitched trace against the ORIGINAL duties (before the
+  // case split): each conjunct's GF target hit on the cycle, or its FG
+  // predicate invariant there.  Conjuncts mark absent sides with the zero
+  // BDD; the certifier expects null for "no duty on this side".
+  if (certify::enabled()) {
+    std::vector<certify::FragmentDuty> duties;
+    for (const auto& c : augment(cs)) {
+      duties.push_back(
+          certify::FragmentDuty{c.p.is_false() ? bdd::Bdd() : c.p,
+                                c.q.is_false() ? bdd::Bdd() : c.q});
+    }
+    certify::TraceCertifier certifier(ts);
+    certify::require_certified(certifier.certify_fragment(out, duties),
+                               "StarChecker::conjunction_witness");
+  }
   return out;
 }
 

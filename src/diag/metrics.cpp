@@ -24,9 +24,7 @@ void report_at_exit() {
 }
 
 bool init_from_env() {
-  const char* env = std::getenv("SYMCEX_STATS");
-  const bool on =
-      env != nullptr && env[0] != '\0' && std::string_view(env) != "0";
+  const bool on = env_flag("SYMCEX_STATS");
   if (on) std::atexit(report_at_exit);
   return on;
 }
@@ -91,6 +89,11 @@ std::mutex json_path_mu;
 }  // namespace
 
 bool enabled() { return enabled_flag().load(std::memory_order_relaxed); }
+
+bool env_flag(const char* name) {
+  const char* env = std::getenv(name);
+  return env != nullptr && env[0] != '\0' && std::string_view(env) != "0";
+}
 
 void set_enabled(bool on) {
   enabled_flag().store(on, std::memory_order_relaxed);

@@ -54,6 +54,10 @@ namespace symcex::diag {
 [[nodiscard]] bool enabled();
 void set_enabled(bool on);
 
+/// Shared boolean environment-toggle convention: set (non-empty, not "0")
+/// means on.  Used for SYMCEX_STATS, SYMCEX_CERTIFY and SYMCEX_AUDIT.
+[[nodiscard]] bool env_flag(const char* name);
+
 /// Last value written to a gauge plus its high-water mark.
 struct GaugeValue {
   double last = 0.0;

@@ -51,7 +51,7 @@ Enumerated enumerate(const ts::TransitionSystem& ts, std::size_t max_states) {
     while (!img.is_false()) {
       const bdd::Bdd t = ts.pick_state(img);
       img -= t;
-      const bool known = ids.count(t) != 0;
+      const bool known = ids.contains(t);
       const StateId v = intern(t);
       out.graph.add_edge(u, v);
       if (!known) queue.push_back(v);

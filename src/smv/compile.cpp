@@ -128,7 +128,7 @@ class Compiler {
 
   void declare_vars() {
     for (const auto& d : prog_.vars) {
-      if (slots_.count(d.name) != 0) {
+      if (slots_.contains(d.name)) {
         throw SmvError("duplicate variable '" + d.name + "'", d.line);
       }
       VarSlot slot;
@@ -176,7 +176,7 @@ class Compiler {
 
   void collect_defines() {
     for (const auto& d : prog_.defines) {
-      if (slots_.count(d.name) != 0 || defines_.count(d.name) != 0) {
+      if (slots_.contains(d.name) || defines_.contains(d.name)) {
         throw SmvError("DEFINE '" + d.name + "' clashes with another symbol",
                        d.line);
       }
@@ -481,8 +481,8 @@ class Compiler {
       if (!used.insert(a.var).second) {
         throw SmvError("duplicate assignment to '" + a.var + "'", a.line);
       }
-      if (has_current.count(a.var) != 0 &&
-          (has_init.count(a.var) != 0 || has_next.count(a.var) != 0)) {
+      if (has_current.contains(a.var) &&
+          (has_init.contains(a.var) || has_next.contains(a.var))) {
         throw SmvError("variable '" + a.var +
                            "' has both a combinational and an init/next "
                            "assignment",

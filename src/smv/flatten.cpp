@@ -68,7 +68,7 @@ class Flattener {
             it->second->name + e->name.substr(dot);
         return node;
       }
-      if (locals.count(head) != 0) {
+      if (locals.contains(head)) {
         auto node = Expr::make(EK::kIdent, e->line);
         const_cast<Expr&>(*node).name = prefix + e->name;
         return node;

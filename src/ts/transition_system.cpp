@@ -37,7 +37,7 @@ VarId TransitionSystem::add_var(const std::string& name) {
   if (name.empty()) {
     throw std::invalid_argument("TransitionSystem::add_var: empty name");
   }
-  if (by_name_.count(name) != 0) {
+  if (by_name_.contains(name)) {
     throw std::invalid_argument("TransitionSystem::add_var: duplicate name '" +
                                 name + "'");
   }
@@ -135,6 +135,94 @@ void TransitionSystem::finalize() {
   cur_cube_ = mgr_->cube(curs);
   next_cube_ = mgr_->cube(nexts);
   build_schedules();
+  if (bdd::audits_enabled()) audit();
+}
+
+void TransitionSystem::audit() const {
+  diag::Registry::global().add_in("ts", "audit_runs", 1);
+  const std::string report = audit_check();
+  if (!report.empty()) {
+    diag::Registry::global().add_in("ts", "audit_failures", 1);
+    throw std::logic_error(report);
+  }
+}
+
+std::string TransitionSystem::audit_check() const {
+  const auto fail = [](const std::string& what) {
+    return "TransitionSystem::audit: " + what;
+  };
+  if (!finalized_) return fail("finalize() has not been called");
+  const std::size_t n = names_.size();
+
+  // -- rail discipline -------------------------------------------------------
+  const auto rail_ok = [n](const std::vector<std::uint32_t>& support,
+                           std::uint32_t parity) {
+    return std::all_of(support.begin(), support.end(), [&](std::uint32_t v) {
+      return v < 2 * n && v % 2 == parity;
+    });
+  };
+  const std::vector<std::uint32_t> cur_support = cur_cube_.support();
+  const std::vector<std::uint32_t> next_support = next_cube_.support();
+  if (cur_support.size() != n || !rail_ok(cur_support, 0)) {
+    return fail("current-rail cube is not exactly the even variables");
+  }
+  if (next_support.size() != n || !rail_ok(next_support, 1)) {
+    return fail("next-rail cube is not exactly the odd variables");
+  }
+
+  // -- support containment ---------------------------------------------------
+  if (!init_.is_null() && !rail_ok(init_.support(), 0)) {
+    return fail("initial states depend on non-current-rail variables");
+  }
+  for (const auto& [name, set] : labels_) {
+    if (!rail_ok(set.support(), 0)) {
+      return fail("label '" + name + "' depends on non-current-rail variables");
+    }
+  }
+  for (std::size_t k = 0; k < fairness_.size(); ++k) {
+    if (!rail_ok(fairness_[k].support(), 0)) {
+      return fail("fairness constraint " + std::to_string(k) +
+                  " depends on non-current-rail variables");
+    }
+  }
+  for (std::size_t k = 0; k < parts_.size(); ++k) {
+    const auto support = parts_[k].support();
+    if (!std::all_of(support.begin(), support.end(),
+                     [&](std::uint32_t v) { return v < 2 * n; })) {
+      return fail("transition part " + std::to_string(k) +
+                  " depends on variables outside both rails");
+    }
+  }
+
+  // -- renaming round-trip ---------------------------------------------------
+  if (!init_.is_null() && unprime(prime(init_)) != init_) {
+    return fail("prime/unprime round-trip changes the initial states");
+  }
+
+  // -- partitioned/monolithic agreement --------------------------------------
+  {
+    bdd::Bdd product = mgr_->one();
+    for (const auto& p : parts_) product &= p;
+    if (product != trans()) {
+      return fail("cached monolithic relation disagrees with the partition");
+    }
+  }
+  if (!init_.is_null()) {
+    // Probe with the initial states and their one-step image (not the full
+    // reachable fixpoint, so finalize-time audits stay cheap).
+    const bdd::Bdd step = image(init_, ImageMethod::kMonolithic);
+    for (const bdd::Bdd& probe : {init_, step}) {
+      if (image(probe, ImageMethod::kMonolithic) !=
+          image(probe, ImageMethod::kPartitioned)) {
+        return fail("monolithic and partitioned image disagree");
+      }
+      if (preimage(probe, ImageMethod::kMonolithic) !=
+          preimage(probe, ImageMethod::kPartitioned)) {
+        return fail("monolithic and partitioned preimage disagree");
+      }
+    }
+  }
+  return "";
 }
 
 void TransitionSystem::build_schedules() {

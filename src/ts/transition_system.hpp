@@ -156,6 +156,27 @@ class TransitionSystem {
   /// relation on reachable states.)
   [[nodiscard]] bool is_total_on(const bdd::Bdd& states) const;
 
+  // -- auditing --------------------------------------------------------------
+
+  /// Structural audit of the finalized system:
+  ///
+  ///   * rail discipline: the current/next quantification cubes are exactly
+  ///     the even/odd BDD variables and are disjoint;
+  ///   * support containment: init, labels and fairness constraints live on
+  ///     the current rail only, transition parts within the two rails;
+  ///   * renaming: prime/unprime round-trip on the initial states;
+  ///   * partitioned/monolithic agreement: the cached monolithic relation
+  ///     equals a freshly conjoined partition, and image/preimage give the
+  ///     same result under both methods (exercising the early-quantification
+  ///     schedules).
+  ///
+  /// Returns "" when consistent, else a diagnostic naming the violated
+  /// invariant.
+  [[nodiscard]] std::string audit_check() const;
+  /// audit_check(), throwing std::logic_error on any violation.  Also runs
+  /// automatically at the end of finalize() when bdd::audits_enabled().
+  void audit() const;
+
   /// Write the reachable state graph in Graphviz DOT syntax (each node
   /// labelled with its state_string, initial states doubly circled,
   /// highlighted sets drawn filled).  Throws std::length_error when more

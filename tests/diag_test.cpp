@@ -99,7 +99,9 @@ TEST_F(DiagTest, TimerScopeRecordsElapsedTime) {
     const diag::TimerScope t("work", r);
     // Burn a little time so the reading is strictly positive.
     volatile std::uint64_t sink = 0;
-    for (int i = 0; i < 100000; ++i) sink += static_cast<std::uint64_t>(i);
+    for (int i = 0; i < 100000; ++i) {
+      sink = sink + static_cast<std::uint64_t>(i);
+    }
     (void)sink;
   }
   const diag::TimerValue v = r.timer("", "work");

@@ -1,9 +1,11 @@
 // Tests for explicit-graph witness generation (the EMC-style counterpart
-// of Section 6), cross-checked against the graph structure and, on random
-// models, against the symbolic verdicts.
+// of Section 6).  Validity is established through the shared certifier
+// entry points in src/certify -- the same code that audits the symbolic
+// engine's traces -- rather than ad-hoc edge walks.
 
 #include <gtest/gtest.h>
 
+#include "certify/certify.hpp"
 #include "core/checker.hpp"
 #include "explicit/explicit_checker.hpp"
 #include "explicit/explicit_graph.hpp"
@@ -13,23 +15,8 @@
 namespace symcex::enumerative {
 namespace {
 
-/// Validity of an explicit witness against its graph.
-void expect_valid(const FiniteWitness& w, const Graph& g) {
-  const auto has_edge = [&](StateId a, StateId b) {
-    for (const StateId v : g.succ[a]) {
-      if (v == b) return true;
-    }
-    return false;
-  };
-  std::vector<StateId> all = w.prefix;
-  all.insert(all.end(), w.cycle.begin(), w.cycle.end());
-  ASSERT_FALSE(all.empty());
-  for (std::size_t i = 1; i < all.size(); ++i) {
-    EXPECT_TRUE(has_edge(all[i - 1], all[i])) << "step " << i;
-  }
-  if (!w.cycle.empty()) {
-    EXPECT_TRUE(has_edge(w.cycle.back(), w.cycle.front()));
-  }
+void expect_certified(const certify::Certificate& cert) {
+  EXPECT_TRUE(cert.ok()) << cert.to_string();
 }
 
 TEST(ExplicitEuWitness, ShortestPath) {
@@ -46,7 +33,7 @@ TEST(ExplicitEuWitness, ShortestPath) {
   const auto w = eu_witness(g, 0, all, target);
   ASSERT_TRUE(w.has_value());
   EXPECT_EQ(w->prefix, (std::vector<StateId>{0, 3}));
-  expect_valid(*w, g);
+  expect_certified(certify::certify_explicit_eu(g, *w, all, target));
 }
 
 TEST(ExplicitEuWitness, RespectsTheInvariant) {
@@ -64,6 +51,7 @@ TEST(ExplicitEuWitness, RespectsTheInvariant) {
   const auto w = eu_witness(g, 0, f, target);
   ASSERT_TRUE(w.has_value());
   EXPECT_EQ(w->prefix, (std::vector<StateId>{0, 2, 3, 4}));
+  expect_certified(certify::certify_explicit_eu(g, *w, f, target));
 }
 
 TEST(ExplicitEuWitness, EndpointNeedsOnlyG) {
@@ -75,6 +63,7 @@ TEST(ExplicitEuWitness, EndpointNeedsOnlyG) {
   const auto w = eu_witness(g, 0, f, target);
   ASSERT_TRUE(w.has_value());
   EXPECT_EQ(w->prefix.size(), 2u);
+  expect_certified(certify::certify_explicit_eu(g, *w, f, target));
 }
 
 TEST(ExplicitEuWitness, FailureCases) {
@@ -103,12 +92,8 @@ TEST(ExplicitEgWitness, FairLassoVisitsAllConstraints) {
   const StateSet all(5, true);
   const auto w = eg_witness(g, 4, all);
   ASSERT_TRUE(w.has_value());
-  expect_valid(*w, g);
-  for (const auto& fair_set : g.fairness) {
-    bool visited = false;
-    for (const StateId s : w->cycle) visited |= fair_set[s];
-    EXPECT_TRUE(visited);
-  }
+  // certify_explicit_eg covers structure, invariant AND fairness visits.
+  expect_certified(certify::certify_explicit_eg(g, *w, all));
   EXPECT_EQ(w->prefix, (std::vector<StateId>{4}));
 }
 
@@ -120,6 +105,7 @@ TEST(ExplicitEgWitness, SelfLoopLasso) {
   ASSERT_TRUE(w.has_value());
   EXPECT_TRUE(w->prefix.empty());
   EXPECT_EQ(w->cycle, (std::vector<StateId>{0}));
+  expect_certified(certify::certify_explicit_eg(g, *w, StateSet{true}));
 }
 
 TEST(ExplicitEgWitness, RespectsInvariantAndFails) {
@@ -154,14 +140,9 @@ TEST(ExplicitEgWitness, AgreesWithSymbolicOnRandomModels) {
         const auto w = eg_witness(e.graph, start, f);
         EXPECT_EQ(w.has_value(), sym) << "seed " << seed;
         if (w.has_value()) {
-          expect_valid(*w, e.graph);
-          for (const StateId s : w->prefix) EXPECT_TRUE(f[s]);
-          for (const StateId s : w->cycle) EXPECT_TRUE(f[s]);
-          for (const auto& fair_set : e.graph.fairness) {
-            bool visited = false;
-            for (const StateId s : w->cycle) visited |= fair_set[s];
-            EXPECT_TRUE(visited) << "seed " << seed;
-          }
+          const auto cert = certify::certify_explicit_eg(e.graph, *w, f);
+          EXPECT_TRUE(cert.ok()) << "seed " << seed << "\n"
+                                 << cert.to_string();
         }
       }
     }
