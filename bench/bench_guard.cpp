@@ -1,0 +1,145 @@
+// Overhead of the resource-governance layer on the BDD hot path.
+//
+// The governance checks sit inside run_apply (deadline probe, soft-limit
+// GC test) and Manager::mk (hard node ceiling).  These benches measure
+// what they cost when the budget never fires:
+//
+//   * apply throughput with no budget installed (the baseline),
+//   * the same workload under a budget whose limits are all far out of
+//     reach (every checkpoint taken, nothing ever trips),
+//   * checkpoint() and FixpointGuard::tick() in isolation, since every
+//     image/preimage call and fixpoint iteration pays for one,
+//   * model checking end to end, unguarded vs. generously guarded.
+
+#include <random>
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hpp"
+
+#include "bdd/bdd.hpp"
+#include "core/checker.hpp"
+#include "guard/guard.hpp"
+#include "models/models.hpp"
+#include "ts/transition_system.hpp"
+
+namespace {
+
+using namespace symcex;
+
+bdd::Bdd random_function(bdd::Manager& m, std::mt19937& rng,
+                         std::uint32_t vars, int terms) {
+  bdd::Bdd f = m.zero();
+  for (int t = 0; t < terms; ++t) {
+    bdd::Bdd cube = m.one();
+    for (std::uint32_t v = 0; v < vars; ++v) {
+      switch (rng() % 3) {
+        case 0:
+          cube &= m.var(v);
+          break;
+        case 1:
+          cube &= m.nvar(v);
+          break;
+        default:
+          break;
+      }
+    }
+    f |= cube;
+  }
+  return f;
+}
+
+/// All limits set, none reachable: the manager takes every governance
+/// branch (deadline clock reads, soft-limit comparisons, hard-limit
+/// tests in mk) without ever aborting.
+guard::ResourceBudget generous_budget() {
+  guard::ResourceBudget b;
+  b.max_live_nodes = 1u << 30;
+  b.max_memory_bytes = std::size_t{1} << 40;
+  b.deadline_ms = 24 * 60 * 60 * 1000;  // a day
+  b.max_fixpoint_iterations = 1u << 30;
+  b.max_recursion_depth = 100'000;
+  return b;
+}
+
+void apply_workload(benchmark::State& state, bool guarded) {
+  const auto vars = static_cast<std::uint32_t>(state.range(0));
+  bdd::Manager m(vars);
+  if (guarded) m.install_budget(generous_budget());
+  std::mt19937 rng(7);
+  std::vector<bdd::Bdd> pool;
+  for (int i = 0; i < 32; ++i) pool.push_back(random_function(m, rng, vars, 24));
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const bdd::Bdd& f = pool[i % 32];
+    const bdd::Bdd& g = pool[(i + 17) % 32];
+    benchmark::DoNotOptimize(f & g);
+    benchmark::DoNotOptimize(f | g);
+    benchmark::DoNotOptimize(f ^ g);
+    ++i;
+  }
+  state.counters["budget_aborts"] =
+      static_cast<double>(m.stats().budget_aborts);
+}
+
+void BM_ApplyUnguarded(benchmark::State& state) {
+  apply_workload(state, /*guarded=*/false);
+}
+BENCHMARK(BM_ApplyUnguarded)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_ApplyGuarded(benchmark::State& state) {
+  apply_workload(state, /*guarded=*/true);
+}
+BENCHMARK(BM_ApplyGuarded)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_Checkpoint(benchmark::State& state) {
+  bdd::Manager m(8);
+  m.install_budget(generous_budget());
+  for (auto _ : state) {
+    m.checkpoint("bench");
+  }
+}
+BENCHMARK(BM_Checkpoint);
+
+void BM_FixpointGuardTick(benchmark::State& state) {
+  bdd::Manager m(8);
+  m.install_budget(generous_budget());
+  bdd::FixpointGuard fixpoint_guard(m, "bench");
+  for (auto _ : state) {
+    fixpoint_guard.tick();
+  }
+}
+BENCHMARK(BM_FixpointGuardTick);
+
+void check_workload(benchmark::State& state, bool guarded) {
+  const auto width = static_cast<std::uint32_t>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto ts = models::counter({.width = width});
+    core::Checker ck(*ts);
+    if (guarded) ts->manager().install_budget(generous_budget());
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(ck.check("AG EF zero").verdict);
+  }
+}
+
+void BM_CheckerUnguarded(benchmark::State& state) {
+  check_workload(state, /*guarded=*/false);
+}
+BENCHMARK(BM_CheckerUnguarded)->Arg(8)->Arg(10);
+
+void BM_CheckerGuarded(benchmark::State& state) {
+  check_workload(state, /*guarded=*/true);
+}
+BENCHMARK(BM_CheckerGuarded)->Arg(8)->Arg(10);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  symcex::bench::StatsExport stats(&argc, argv);
+  ::benchmark::Initialize(&argc, argv);
+  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  return 0;
+}

@@ -24,6 +24,7 @@
 #include "core/checker.hpp"
 #include "core/explain.hpp"
 #include "core/trace_util.hpp"
+#include "guard/guard.hpp"
 #include "smv/smv.hpp"
 
 namespace {
@@ -158,5 +159,13 @@ int main(int argc, char** argv) {
   } catch (const smv::SmvError& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 2;
+  } catch (const guard::ResourceExhausted& e) {
+    // A SYMCEX_NODE_LIMIT / SYMCEX_DEADLINE_MS / ... budget ran out while
+    // compiling or checking: report the unknown result instead of dying.
+    std::cerr << "result unknown: out of " << guard::resource_name(e.resource())
+              << " budget (" << e.what() << ")\n"
+              << "  " << e.spent().to_string() << "\n"
+              << "  rerun with a larger budget to decide the remaining specs\n";
+    return 3;
   }
 }

@@ -134,11 +134,13 @@ class ProductCtx {
         lasso.word_cycle.push_back(a);
       }
       out.contained = false;
+      out.verdict = core::Verdict::kFalse;
       out.counterexample = std::move(lasso);
       out.fixpoint_evaluations = star.fixpoint_evaluations();
       return out;
     }
     out.contained = true;
+    out.verdict = core::Verdict::kTrue;
     out.fixpoint_evaluations = star.fixpoint_evaluations();
     return out;
   }
@@ -249,6 +251,31 @@ void certify_result(const ContainmentResult& result, const Sys& sys,
   certify::require_certified(cert, "check_containment");
 }
 
+/// Run one containment pipeline under the ambient resource budget: a
+/// guard::ResourceExhausted abort anywhere (product construction included
+/// -- the private product manager installs guard::ScopedBudget::current()
+/// on creation) is reported as verdict == kUnknown rather than escaping.
+/// Rerun inside a larger ScopedBudget for a definite answer.
+template <typename Body>
+ContainmentResult guarded_containment(Body&& body) {
+  try {
+    return body();
+  } catch (const guard::ResourceExhausted& e) {
+    ContainmentResult out;
+    out.contained = false;
+    out.verdict = core::Verdict::kUnknown;
+    out.unknown_reason = e.what();
+    out.spent = e.spent();
+    if (diag::enabled()) {
+      diag::Registry::global().add_in(
+          "guard", std::string("containment.unknown.") +
+                       guard::resource_name(e.resource()),
+          1);
+    }
+    return out;
+  }
+}
+
 void require_spec(const TransitionStructure& spec, const char* what) {
   if (!spec.is_deterministic()) {
     throw std::invalid_argument(
@@ -270,78 +297,90 @@ ContainmentResult check_containment(const StreettAutomaton& sys,
                                     const StreettAutomaton& spec,
                                     const core::WitnessOptions& options) {
   require_spec(spec, "Streett");
-  ProductCtx ctx(sys, spec);
-  ContainmentResult out = ctx.check(
-      cross(streett_phi(ctx, sys.acceptance),
-            streett_neg_phi(ctx, spec.acceptance)),
-      options);
-  certify_result(out, sys, spec);
-  return out;
+  return guarded_containment([&] {
+    ProductCtx ctx(sys, spec);
+    ContainmentResult out = ctx.check(
+        cross(streett_phi(ctx, sys.acceptance),
+              streett_neg_phi(ctx, spec.acceptance)),
+        options);
+    certify_result(out, sys, spec);
+    return out;
+  });
 }
 
 ContainmentResult check_containment(const StreettAutomaton& sys,
                                     const RabinAutomaton& spec,
                                     const core::WitnessOptions& options) {
   require_spec(spec, "Rabin");
-  ProductCtx ctx(sys, spec);
-  ContainmentResult out =
-      ctx.check(cross(streett_phi(ctx, sys.acceptance),
-                      rabin_neg_phi(ctx, spec.acceptance)),
-                options);
-  certify_result(out, sys, spec);
-  return out;
+  return guarded_containment([&] {
+    ProductCtx ctx(sys, spec);
+    ContainmentResult out =
+        ctx.check(cross(streett_phi(ctx, sys.acceptance),
+                        rabin_neg_phi(ctx, spec.acceptance)),
+                  options);
+    certify_result(out, sys, spec);
+    return out;
+  });
 }
 
 ContainmentResult check_containment(const RabinAutomaton& sys,
                                     const StreettAutomaton& spec,
                                     const core::WitnessOptions& options) {
   require_spec(spec, "Streett");
-  ProductCtx ctx(sys, spec);
-  ContainmentResult out =
-      ctx.check(cross(rabin_phi(ctx, sys.acceptance),
-                      streett_neg_phi(ctx, spec.acceptance)),
-                options);
-  certify_result(out, sys, spec);
-  return out;
+  return guarded_containment([&] {
+    ProductCtx ctx(sys, spec);
+    ContainmentResult out =
+        ctx.check(cross(rabin_phi(ctx, sys.acceptance),
+                        streett_neg_phi(ctx, spec.acceptance)),
+                  options);
+    certify_result(out, sys, spec);
+    return out;
+  });
 }
 
 ContainmentResult check_containment(const RabinAutomaton& sys,
                                     const RabinAutomaton& spec,
                                     const core::WitnessOptions& options) {
   require_spec(spec, "Rabin");
-  ProductCtx ctx(sys, spec);
-  ContainmentResult out =
-      ctx.check(cross(rabin_phi(ctx, sys.acceptance),
-                      rabin_neg_phi(ctx, spec.acceptance)),
-                options);
-  certify_result(out, sys, spec);
-  return out;
+  return guarded_containment([&] {
+    ProductCtx ctx(sys, spec);
+    ContainmentResult out =
+        ctx.check(cross(rabin_phi(ctx, sys.acceptance),
+                        rabin_neg_phi(ctx, spec.acceptance)),
+                  options);
+    certify_result(out, sys, spec);
+    return out;
+  });
 }
 
 ContainmentResult check_containment(const StreettAutomaton& sys,
                                     const MullerAutomaton& spec,
                                     const core::WitnessOptions& options) {
   require_spec(spec, "Muller");
-  ProductCtx ctx(sys, spec);
-  ContainmentResult out =
-      ctx.check(cross(streett_phi(ctx, sys.acceptance),
-                      muller_neg_phi(ctx, spec.acceptance)),
-                options);
-  certify_result(out, sys, spec);
-  return out;
+  return guarded_containment([&] {
+    ProductCtx ctx(sys, spec);
+    ContainmentResult out =
+        ctx.check(cross(streett_phi(ctx, sys.acceptance),
+                        muller_neg_phi(ctx, spec.acceptance)),
+                  options);
+    certify_result(out, sys, spec);
+    return out;
+  });
 }
 
 ContainmentResult check_containment(const MullerAutomaton& sys,
                                     const StreettAutomaton& spec,
                                     const core::WitnessOptions& options) {
   require_spec(spec, "Streett");
-  ProductCtx ctx(sys, spec);
-  ContainmentResult out =
-      ctx.check(cross(muller_phi(ctx, sys.acceptance),
-                      streett_neg_phi(ctx, spec.acceptance)),
-                options);
-  certify_result(out, sys, spec);
-  return out;
+  return guarded_containment([&] {
+    ProductCtx ctx(sys, spec);
+    ContainmentResult out =
+        ctx.check(cross(muller_phi(ctx, sys.acceptance),
+                        streett_neg_phi(ctx, spec.acceptance)),
+                  options);
+    certify_result(out, sys, spec);
+    return out;
+  });
 }
 
 }  // namespace symcex::automata

@@ -5,6 +5,7 @@
 #include <cassert>
 #include <cmath>
 #include <limits>
+#include <new>
 #include <ostream>
 #include <sstream>
 #include <stdexcept>
@@ -129,41 +130,35 @@ bool Bdd::is_false() const {
 
 Bdd Bdd::operator!() const {
   if (mgr_ == nullptr) throw std::logic_error("Bdd: operation on null handle");
-  mgr_->maybe_collect();
-  mgr_->count_apply(ApplyOp::kNot);
-  return mgr_->wrap(mgr_->not_rec(idx_));
+  return mgr_->run_apply(ApplyOp::kNot, [&] { return mgr_->not_rec(idx_); });
 }
 
 Bdd Bdd::operator&(const Bdd& g) const {
   if (mgr_ == nullptr) throw std::logic_error("Bdd: operation on null handle");
   mgr_->check_mine(g, "operator&");
-  mgr_->maybe_collect();
-  mgr_->count_apply(ApplyOp::kAnd);
-  return mgr_->wrap(mgr_->and_rec(idx_, g.idx_));
+  return mgr_->run_apply(ApplyOp::kAnd,
+                         [&] { return mgr_->and_rec(idx_, g.idx_); });
 }
 
 Bdd Bdd::operator|(const Bdd& g) const {
   if (mgr_ == nullptr) throw std::logic_error("Bdd: operation on null handle");
   mgr_->check_mine(g, "operator|");
-  mgr_->maybe_collect();
-  mgr_->count_apply(ApplyOp::kOr);
-  return mgr_->wrap(mgr_->or_rec(idx_, g.idx_));
+  return mgr_->run_apply(ApplyOp::kOr,
+                         [&] { return mgr_->or_rec(idx_, g.idx_); });
 }
 
 Bdd Bdd::operator^(const Bdd& g) const {
   if (mgr_ == nullptr) throw std::logic_error("Bdd: operation on null handle");
   mgr_->check_mine(g, "operator^");
-  mgr_->maybe_collect();
-  mgr_->count_apply(ApplyOp::kXor);
-  return mgr_->wrap(mgr_->xor_rec(idx_, g.idx_));
+  return mgr_->run_apply(ApplyOp::kXor,
+                         [&] { return mgr_->xor_rec(idx_, g.idx_); });
 }
 
 Bdd Bdd::exists(const Bdd& cube) const {
   if (mgr_ == nullptr) throw std::logic_error("Bdd: operation on null handle");
   mgr_->check_mine(cube, "exists");
-  mgr_->maybe_collect();
-  mgr_->count_apply(ApplyOp::kExists);
-  return mgr_->wrap(mgr_->exists_rec(idx_, cube.idx_));
+  return mgr_->run_apply(ApplyOp::kExists,
+                         [&] { return mgr_->exists_rec(idx_, cube.idx_); });
 }
 
 Bdd Bdd::forall(const Bdd& cube) const {
@@ -177,9 +172,9 @@ Bdd Bdd::constrain(const Bdd& care) const {
   if (care.is_false()) {
     throw std::invalid_argument("Bdd::constrain: empty care set");
   }
-  mgr_->maybe_collect();
-  mgr_->count_apply(ApplyOp::kConstrain);
-  return mgr_->wrap(mgr_->constrain_rec(idx_, care.idx_));
+  return mgr_->run_apply(ApplyOp::kConstrain, [&] {
+    return mgr_->constrain_rec(idx_, care.idx_);
+  });
 }
 
 Bdd Bdd::minimize(const Bdd& care) const {
@@ -188,25 +183,27 @@ Bdd Bdd::minimize(const Bdd& care) const {
   if (care.is_false()) {
     throw std::invalid_argument("Bdd::minimize: empty care set");
   }
-  mgr_->maybe_collect();
-  mgr_->count_apply(ApplyOp::kRestrictMin);
-  return mgr_->wrap(mgr_->restrict_min_rec(idx_, care.idx_));
+  return mgr_->run_apply(ApplyOp::kRestrictMin, [&] {
+    return mgr_->restrict_min_rec(idx_, care.idx_);
+  });
 }
 
 Bdd Bdd::compose(std::uint32_t var, const Bdd& g) const {
   if (mgr_ == nullptr) throw std::logic_error("Bdd: operation on null handle");
   mgr_->check_mine(g, "compose");
-  mgr_->maybe_collect();
-  mgr_->count_apply(ApplyOp::kCompose);
-  return mgr_->wrap(mgr_->compose_rec(idx_, var, g.idx_));
+  return mgr_->run_apply(ApplyOp::kCompose, [&] {
+    return mgr_->compose_rec(idx_, var, g.idx_);
+  });
 }
 
 Bdd Bdd::restrict_var(std::uint32_t var, bool value) const {
   if (mgr_ == nullptr) throw std::logic_error("Bdd: operation on null handle");
-  mgr_->maybe_collect();
-  mgr_->count_apply(ApplyOp::kRestrictVar);
-  std::vector<std::uint32_t> memo;
-  return mgr_->wrap(mgr_->restrict_rec(idx_, var, value, memo));
+  // The memo lives inside the kernel closure so an exhaustion retry
+  // starts from a clean (post-GC) slate.
+  return mgr_->run_apply(ApplyOp::kRestrictVar, [&] {
+    std::vector<std::uint32_t> memo;
+    return mgr_->restrict_rec(idx_, var, value, memo);
+  });
 }
 
 std::size_t Bdd::dag_size() const {
@@ -354,6 +351,11 @@ Manager::Manager(std::uint32_t num_vars, const ManagerOptions& options)
   buckets_.assign(1u << 12, kNil);
   cache_.assign(std::size_t{1} << options.cache_log2_size, CacheEntry{});
   for (std::uint32_t i = 0; i < num_vars; ++i) new_var();
+  // Every manager is born budgeted: the innermost guard::ScopedBudget, or
+  // the environment-derived default (SYMCEX_NODE_LIMIT, ...).  This is how
+  // budgets reach managers libraries construct privately, e.g. the product
+  // manager inside automata::check_containment.
+  install_budget(guard::ScopedBudget::current());
   // Live source: exports snapshot this manager's stats while it is alive.
   diag_source_id_ = diag::Registry::global().register_source(
       [this](diag::Registry& r) { fold_stats_into_diag(r); });
@@ -377,6 +379,11 @@ void Manager::fold_stats_into_diag(diag::Registry& r) const {
   r.add_in(kPhase, "unique_misses", stats_.unique_misses);
   r.add_in(kPhase, "cache_hits", stats_.cache_hits);
   r.add_in(kPhase, "cache_lookups", stats_.cache_lookups);
+  r.add_in(kPhase, "soft_gc_runs", stats_.soft_gc_runs);
+  r.add_in(kPhase, "budget_aborts", stats_.budget_aborts);
+  r.add_in(kPhase, "exhaust_retries", stats_.exhaust_retries);
+  r.add_in(kPhase, "node_limit_hits", stats_.node_limit_hits);
+  r.add_in(kPhase, "alloc_failures", stats_.alloc_failures);
   if (stats_.gc_runs > 0) {
     r.timer_add_in(kPhase, "gc_pause", stats_.gc_pause_ns, stats_.gc_runs);
   }
@@ -429,13 +436,36 @@ std::uint32_t Manager::mk(std::uint32_t var, std::uint32_t lo,
     }
   }
   ++stats_.unique_misses;
+  if (node_hard_limit_ != 0 && live_nodes_ >= node_hard_limit_) {
+    // Hard ceiling: GC cannot run here (the caller's kernel holds raw
+    // zero-ref indices on the C++ stack), so throw; run_apply reclaims
+    // the aborted kernel's orphans, flushes the cache and retries once.
+    ++stats_.node_limit_hits;
+    throw guard::NodeLimitExceeded(
+        "Manager::mk: live-node limit (" +
+            std::to_string(node_hard_limit_) + ") exceeded",
+        budget_spent());
+  }
   std::uint32_t idx;
   if (!free_list_.empty()) {
     idx = free_list_.back();
     free_list_.pop_back();
   } else {
-    idx = static_cast<std::uint32_t>(nodes_.size());
-    nodes_.push_back(Node{});
+    // Reserve-before-link: secure capacity before touching any shared
+    // structure, so a failed reallocation cannot leave a half-inserted
+    // node.  A bad_alloc surfaces as AllocationFailed, which run_apply
+    // answers with a GC and one retry.
+    try {
+      if (nodes_.size() == nodes_.capacity()) {
+        nodes_.reserve(nodes_.capacity() * 2);
+      }
+      nodes_.push_back(Node{});
+    } catch (const std::bad_alloc&) {
+      ++stats_.alloc_failures;
+      throw guard::AllocationFailed("Manager::mk: node table growth failed",
+                                    budget_spent());
+    }
+    idx = static_cast<std::uint32_t>(nodes_.size() - 1);
   }
   ref(lo);
   ref(hi);
@@ -454,9 +484,18 @@ std::uint32_t Manager::mk(std::uint32_t var, std::uint32_t lo,
 }
 
 void Manager::grow_table() {
-  ++stats_.table_growths;
   const std::size_t new_size = buckets_.size() * 2;
-  std::vector<std::uint32_t> fresh(new_size, kNil);
+  std::vector<std::uint32_t> fresh;
+  try {
+    fresh.assign(new_size, kNil);
+  } catch (const std::bad_alloc&) {
+    // Growth only shortens chains; under allocation pressure keep the
+    // current table (longer chains, still correct) and let the node /
+    // memory budget machinery handle the real exhaustion.
+    ++stats_.alloc_failures;
+    return;
+  }
+  ++stats_.table_growths;
   buckets_.swap(fresh);
   for (std::uint32_t n = 2; n < nodes_.size(); ++n) {
     Node& nd = nodes_[n];
@@ -490,6 +529,18 @@ void Manager::handle_deref(std::uint32_t idx) {
 }
 
 void Manager::maybe_collect() {
+  if (node_soft_limit_ != 0 && live_nodes_ >= node_soft_limit_ &&
+      live_nodes_ > last_soft_gc_live_) {
+    // Budget pressure: collect (and flush the computed cache) before the
+    // hard limit can fire mid-kernel.  last_soft_gc_live_ keeps an
+    // ineffective collection from repeating until the heap grows again.
+    // Deliberately independent of disable_auto_gc: a budget asks for
+    // graceful degradation even in managers tuned for deterministic GC.
+    ++stats_.soft_gc_runs;
+    gc();
+    last_soft_gc_live_ = live_nodes_;
+    return;
+  }
   if (!auto_gc_ || live_nodes_ < gc_threshold_) return;
   gc();
   // If the heap is still mostly live, raise the bar so we do not thrash.
@@ -783,6 +834,154 @@ void Manager::check_mine(const Bdd& b, const char* what) const {
   }
 }
 
+
+// ---------------------------------------------------------------------------
+// Resource governance
+// ---------------------------------------------------------------------------
+
+void Manager::install_budget(const guard::ResourceBudget& budget) {
+  budget_ = budget;
+  depth_limit_ = budget.max_recursion_depth == 0
+                     ? std::numeric_limits<std::size_t>::max()
+                     : budget.max_recursion_depth;
+  node_hard_limit_ = budget.max_live_nodes;
+  node_soft_limit_ = budget.effective_soft_node_limit();
+  memory_limit_ = budget.max_memory_bytes;
+  budget_epoch_ns_ = diag::monotonic_ns();
+  deadline_ns_ =
+      budget.deadline_ms == 0
+          ? 0
+          : budget_epoch_ns_ + budget.deadline_ms * 1'000'000ull;
+  last_soft_gc_live_ = 0;
+}
+
+void Manager::clear_budget() {
+  // Everything off except the default recursion-depth guard, which also
+  // protects unbudgeted runs from stack exhaustion.
+  install_budget(guard::ResourceBudget{});
+}
+
+std::size_t Manager::memory_bytes() const {
+  return nodes_.capacity() * sizeof(Node) +
+         buckets_.capacity() * sizeof(std::uint32_t) +
+         free_list_.capacity() * sizeof(std::uint32_t) +
+         cache_.capacity() * sizeof(CacheEntry);
+}
+
+std::uint64_t Manager::elapsed_ms() const {
+  return (diag::monotonic_ns() - budget_epoch_ns_) / 1'000'000ull;
+}
+
+guard::BudgetSpent Manager::budget_spent() const {
+  guard::BudgetSpent spent;
+  spent.live_nodes = live_nodes_;
+  spent.peak_nodes = stats_.peak_nodes;
+  spent.memory_bytes = memory_bytes();
+  spent.elapsed_ms = elapsed_ms();
+  spent.depth = depth_;
+  spent.soft_gc_runs = stats_.soft_gc_runs;
+  return spent;
+}
+
+void Manager::check_deadline(const char* what) {
+  if (diag::monotonic_ns() <= deadline_ns_) return;
+  throw guard::DeadlineExceeded(
+      std::string(what) + ": wall-clock deadline (" +
+          std::to_string(budget_.deadline_ms) + " ms) exceeded",
+      budget_spent());
+}
+
+void Manager::throw_depth_exceeded() {
+  guard::BudgetSpent spent = budget_spent();
+  // The throwing Frame never finished constructing, so its destructor
+  // will not run: undo its increment here.
+  --depth_;
+  throw guard::DepthLimitExceeded(
+      "bdd kernel: recursion depth limit (" +
+          std::to_string(depth_limit_) + ") exceeded",
+      spent);
+}
+
+void Manager::checkpoint(const char* what) {
+  if (deadline_ns_ != 0) check_deadline(what);
+  if (memory_limit_ != 0 && memory_bytes() > memory_limit_) {
+    ++stats_.budget_aborts;
+    throw guard::MemoryLimitExceeded(
+        std::string(what) + ": manager heap exceeds max_memory_bytes (" +
+            std::to_string(memory_limit_) + ")",
+        budget_spent());
+  }
+}
+
+void Manager::recover_after_abort() {
+  // An aborted kernel leaves orphan nodes whose refs exactly cover their
+  // in-kernel parents (every mk refs its children), so the refcount
+  // census still balances; a collection reclaims the orphans and flushes
+  // the computed cache, after which (audits enabled) gc() re-audits --
+  // that is the "audit passes immediately after a throw" guarantee.
+  gc();
+  last_soft_gc_live_ = 0;
+}
+
+template <typename Kernel>
+Bdd Manager::run_apply(ApplyOp op, Kernel&& kernel) {
+  maybe_collect();
+  count_apply(op);
+  for (int attempt = 0;; ++attempt) {
+    try {
+      if (deadline_ns_ != 0) check_deadline(apply_op_name(op));
+      return wrap(kernel());
+    } catch (const guard::DeadlineExceeded&) {
+      ++stats_.budget_aborts;
+      recover_after_abort();
+      throw;  // time does not come back: no retry
+    } catch (const guard::DepthLimitExceeded&) {
+      ++stats_.budget_aborts;
+      recover_after_abort();
+      throw;  // the retry would recurse identically: no retry
+    } catch (const guard::ResourceExhausted&) {
+      // Node-limit or allocation exhaustion: collect (reclaiming the
+      // aborted kernel's orphans, flushing the computed cache) and --
+      // kernels being pure -- retry once before giving up.
+      recover_after_abort();
+      if (attempt == 0) {
+        ++stats_.exhaust_retries;
+        continue;
+      }
+      ++stats_.budget_aborts;
+      throw;
+    } catch (const std::bad_alloc&) {
+      // An allocation outside mk's hardened path (cache, free list, ...).
+      ++stats_.alloc_failures;
+      recover_after_abort();
+      if (attempt == 0) {
+        ++stats_.exhaust_retries;
+        continue;
+      }
+      ++stats_.budget_aborts;
+      throw guard::AllocationFailed(
+          std::string("Manager::") + apply_op_name(op) +
+              ": allocation failed after GC-and-retry",
+          budget_spent());
+    }
+  }
+}
+
+void FixpointGuard::tick() {
+  ++iterations_;
+  mgr_.checkpoint(name_);
+  const std::size_t limit = mgr_.budget_.max_fixpoint_iterations;
+  if (limit != 0 && iterations_ > limit) {
+    ++mgr_.stats_.budget_aborts;
+    guard::BudgetSpent spent = mgr_.budget_spent();
+    spent.iterations = iterations_;
+    throw guard::IterationLimitExceeded(
+        std::string(name_) + ": fixpoint iteration limit (" +
+            std::to_string(limit) + ") exceeded",
+        spent);
+  }
+}
+
 // ---------------------------------------------------------------------------
 // Computed cache
 // ---------------------------------------------------------------------------
@@ -813,6 +1012,7 @@ void Manager::cache_put(std::uint32_t op, std::uint32_t f, std::uint32_t g,
 // ---------------------------------------------------------------------------
 
 std::uint32_t Manager::not_rec(std::uint32_t f) {
+  const Frame frame(*this);
   if (f == kFalse) return kTrue;
   if (f == kTrue) return kFalse;
   std::uint32_t cached;
@@ -824,6 +1024,7 @@ std::uint32_t Manager::not_rec(std::uint32_t f) {
 }
 
 std::uint32_t Manager::and_rec(std::uint32_t f, std::uint32_t g) {
+  const Frame frame(*this);
   if (f == kFalse || g == kFalse) return kFalse;
   if (f == kTrue) return g;
   if (g == kTrue || f == g) return f;
@@ -843,6 +1044,7 @@ std::uint32_t Manager::and_rec(std::uint32_t f, std::uint32_t g) {
 }
 
 std::uint32_t Manager::or_rec(std::uint32_t f, std::uint32_t g) {
+  const Frame frame(*this);
   if (f == kTrue || g == kTrue) return kTrue;
   if (f == kFalse) return g;
   if (g == kFalse || f == g) return f;
@@ -862,6 +1064,7 @@ std::uint32_t Manager::or_rec(std::uint32_t f, std::uint32_t g) {
 }
 
 std::uint32_t Manager::xor_rec(std::uint32_t f, std::uint32_t g) {
+  const Frame frame(*this);
   if (f == g) return kFalse;
   if (f == kFalse) return g;
   if (g == kFalse) return f;
@@ -884,6 +1087,7 @@ std::uint32_t Manager::xor_rec(std::uint32_t f, std::uint32_t g) {
 
 std::uint32_t Manager::ite_rec(std::uint32_t f, std::uint32_t g,
                                std::uint32_t h) {
+  const Frame frame(*this);
   if (f == kTrue) return g;
   if (f == kFalse) return h;
   if (g == h) return g;
@@ -907,6 +1111,7 @@ std::uint32_t Manager::ite_rec(std::uint32_t f, std::uint32_t g,
 }
 
 std::uint32_t Manager::exists_rec(std::uint32_t f, std::uint32_t cube) {
+  const Frame frame(*this);
   if (f == kFalse || f == kTrue) return f;
   // Skip cube variables above f's top variable: f does not depend on them.
   while (cube != kTrue && level(cube) < level(f)) cube = nodes_[cube].hi;
@@ -929,6 +1134,7 @@ std::uint32_t Manager::exists_rec(std::uint32_t f, std::uint32_t cube) {
 
 std::uint32_t Manager::and_exists_rec(std::uint32_t f, std::uint32_t g,
                                       std::uint32_t cube) {
+  const Frame frame(*this);
   if (f == kFalse || g == kFalse) return kFalse;
   if (cube == kTrue) return and_rec(f, g);
   if (f == kTrue) return exists_rec(g, cube);
@@ -960,6 +1166,7 @@ std::uint32_t Manager::and_exists_rec(std::uint32_t f, std::uint32_t g,
 }
 
 std::uint32_t Manager::constrain_rec(std::uint32_t f, std::uint32_t c) {
+  const Frame frame(*this);
   if (c == kTrue || f == kFalse || f == kTrue) return f;
   if (f == c) return kTrue;
   std::uint32_t cached;
@@ -984,6 +1191,7 @@ std::uint32_t Manager::constrain_rec(std::uint32_t f, std::uint32_t c) {
 }
 
 std::uint32_t Manager::restrict_min_rec(std::uint32_t f, std::uint32_t c) {
+  const Frame frame(*this);
   if (c == kTrue || f == kFalse || f == kTrue) return f;
   if (f == c) return kTrue;
   std::uint32_t cached;
@@ -1013,6 +1221,7 @@ std::uint32_t Manager::restrict_min_rec(std::uint32_t f, std::uint32_t c) {
 
 std::uint32_t Manager::compose_rec(std::uint32_t f, std::uint32_t var,
                                    std::uint32_t g) {
+  const Frame frame(*this);
   if (level(f) > var) return f;  // also covers terminals (level infinity)
   std::uint32_t cached;
   if (cache_get(kOpCompose, f, g, var, cached)) return cached;
@@ -1033,6 +1242,7 @@ std::uint32_t Manager::compose_rec(std::uint32_t f, std::uint32_t var,
 std::uint32_t Manager::restrict_rec(std::uint32_t f, std::uint32_t var,
                                     bool value,
                                     std::vector<std::uint32_t>& memo) {
+  const Frame frame(*this);
   if (level(f) > var && level(f) != kTermVar) return f;
   if (level(f) == kTermVar) return f;
   if (memo.empty()) memo.assign(nodes_.size(), kNil);
@@ -1094,24 +1304,21 @@ Bdd Manager::ite(const Bdd& f, const Bdd& g, const Bdd& h) {
   check_mine(f, "ite");
   check_mine(g, "ite");
   check_mine(h, "ite");
-  maybe_collect();
-  count_apply(ApplyOp::kIte);
-  return wrap(ite_rec(f.idx_, g.idx_, h.idx_));
+  return run_apply(ApplyOp::kIte,
+                   [&] { return ite_rec(f.idx_, g.idx_, h.idx_); });
 }
 
 Bdd Manager::and_exists(const Bdd& f, const Bdd& g, const Bdd& cube) {
   check_mine(f, "and_exists");
   check_mine(g, "and_exists");
   check_mine(cube, "and_exists");
-  maybe_collect();
-  count_apply(ApplyOp::kAndExists);
-  return wrap(and_exists_rec(f.idx_, g.idx_, cube.idx_));
+  return run_apply(ApplyOp::kAndExists, [&] {
+    return and_exists_rec(f.idx_, g.idx_, cube.idx_);
+  });
 }
 
 Bdd Manager::rename(const Bdd& f, const std::vector<std::uint32_t>& map) {
   check_mine(f, "rename");
-  maybe_collect();
-  count_apply(ApplyOp::kRename);
   // Verify the map is order-preserving and injective on f's support; a
   // violation would silently produce a mis-ordered (non-canonical) DAG.
   const std::vector<std::uint32_t> sup = f.support();
@@ -1127,17 +1334,20 @@ Bdd Manager::rename(const Bdd& f, const std::vector<std::uint32_t>& map) {
           "Manager::rename: map does not preserve variable order");
     }
   }
-  std::unordered_map<std::uint32_t, std::uint32_t> memo;
-  auto rec = [&](auto&& self, std::uint32_t n) -> std::uint32_t {
-    if (level(n) == kTermVar) return n;
-    if (const auto it = memo.find(n); it != memo.end()) return it->second;
-    const Node nd = nodes_[n];
-    const std::uint32_t r =
-        mk(map[nd.var], self(self, nd.lo), self(self, nd.hi));
-    memo.emplace(n, r);
-    return r;
-  };
-  return wrap(rec(rec, f.idx_));
+  return run_apply(ApplyOp::kRename, [&] {
+    std::unordered_map<std::uint32_t, std::uint32_t> memo;
+    auto rec = [&](auto&& self, std::uint32_t n) -> std::uint32_t {
+      const Frame frame(*this);
+      if (level(n) == kTermVar) return n;
+      if (const auto it = memo.find(n); it != memo.end()) return it->second;
+      const Node nd = nodes_[n];
+      const std::uint32_t r =
+          mk(map[nd.var], self(self, nd.lo), self(self, nd.hi));
+      memo.emplace(n, r);
+      return r;
+    };
+    return rec(rec, f.idx_);
+  });
 }
 
 Bdd Manager::pick_one_minterm(const Bdd& f,

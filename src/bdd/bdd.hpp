@@ -29,8 +29,11 @@
 #include <cstdint>
 #include <functional>
 #include <iosfwd>
+#include <limits>
 #include <string>
 #include <vector>
+
+#include "guard/guard.hpp"
 
 namespace symcex::diag {
 class Registry;
@@ -189,6 +192,12 @@ struct ManagerStats {
   std::size_t unique_misses = 0;   ///< mk() created a node
   std::size_t cache_hits = 0;      ///< computed-cache hits
   std::size_t cache_lookups = 0;   ///< computed-cache probes
+  // Resource-governance counters (see guard::ResourceBudget).
+  std::size_t soft_gc_runs = 0;     ///< GCs forced by the soft node limit
+  std::size_t budget_aborts = 0;    ///< top-level ops aborted by exhaustion
+  std::size_t exhaust_retries = 0;  ///< ops retried after a recovery GC
+  std::size_t node_limit_hits = 0;  ///< hard node-limit violations in mk()
+  std::size_t alloc_failures = 0;   ///< bad_alloc during table growth
   /// Top-level calls per apply-style operation, indexed by ApplyOp.
   std::array<std::uint64_t, kNumApplyOps> apply_calls{};
 
@@ -313,8 +322,35 @@ class Manager {
 
   [[nodiscard]] const ManagerStats& stats() const { return stats_; }
 
+  // -- resource governance ---------------------------------------------------
+  // A Manager always carries a budget: the constructor installs the ambient
+  // guard::ScopedBudget::current() (environment-derived when no scope is
+  // active), and install_budget replaces it.  Kernels and fixpoint loops
+  // check it at cooperative checkpoints and throw guard::ResourceExhausted
+  // subclasses; the manager unwinds to an audit-clean state, so raising the
+  // budget and rerunning the same query is always legal.
+
+  /// Install `budget`, replacing the previous one and restarting the
+  /// wall-clock deadline.
+  void install_budget(const guard::ResourceBudget& budget);
+  /// Remove every limit (including the environment-derived ones); the
+  /// default recursion-depth guard stays in force.
+  void clear_budget();
+  /// The installed budget.
+  [[nodiscard]] const guard::ResourceBudget& budget() const { return budget_; }
+  /// Snapshot of consumption against the installed budget.
+  [[nodiscard]] guard::BudgetSpent budget_spent() const;
+  /// Approximate heap bytes owned by this manager (node table, unique
+  /// table, computed cache, free list).
+  [[nodiscard]] std::size_t memory_bytes() const;
+  /// Cooperative checkpoint for long-running callers: throws
+  /// guard::DeadlineExceeded / guard::MemoryLimitExceeded when the budget
+  /// is exhausted.  `what` names the caller in the exception message.
+  void checkpoint(const char* what);
+
  private:
   friend class Bdd;
+  friend class FixpointGuard;
 
   static constexpr std::uint32_t kFalse = 0;
   static constexpr std::uint32_t kTrue = 1;
@@ -373,6 +409,40 @@ class Manager {
   void cache_put(std::uint32_t op, std::uint32_t f, std::uint32_t g,
                  std::uint32_t h, std::uint32_t result);
 
+  // -- resource governance (internals) -------------------------------------
+  /// One guarded kernel recursion frame: counts depth against the budget
+  /// and polls the wall-clock deadline every few thousand frames.  Cost
+  /// without a deadline is two increments per recursive call.
+  struct [[nodiscard]] Frame {
+    explicit Frame(Manager& m) : m_(m) {
+      // Deadline poll first: if it throws, depth_ is untouched.  The
+      // depth throw fires after the increment, so throw_depth_exceeded
+      // compensates for the destructor that will never run.
+      if (m_.deadline_ns_ != 0 && (++m_.poll_ & 0xFFFu) == 0)
+        m_.check_deadline("bdd kernel");
+      if (++m_.depth_ > m_.depth_limit_) m_.throw_depth_exceeded();
+    }
+    ~Frame() { --m_.depth_; }
+    Frame(const Frame&) = delete;
+    Frame& operator=(const Frame&) = delete;
+    Manager& m_;
+  };
+
+  /// Run a kernel under the exhaustion-recovery protocol: on a node-limit
+  /// or allocation failure, GC (reclaiming the aborted kernel's orphans
+  /// and flushing the computed cache) and retry once; if the limit recurs
+  /// -- or on any other exhaustion -- recover and rethrow.  Defined in
+  /// bdd.cpp (every use is in that translation unit).
+  template <typename Kernel>
+  Bdd run_apply(ApplyOp op, Kernel&& kernel);
+  /// GC after a mid-flight abort so the manager is audit-clean: the
+  /// aborted kernel's orphan nodes are reclaimed and the computed cache
+  /// (which may reference them) is flushed.
+  void recover_after_abort();
+  [[noreturn]] void throw_depth_exceeded();
+  void check_deadline(const char* what);
+  [[nodiscard]] std::uint64_t elapsed_ms() const;
+
   // -- recursive kernels (raw indices; GC never runs inside them) ----------
   std::uint32_t not_rec(std::uint32_t f);
   std::uint32_t and_rec(std::uint32_t f, std::uint32_t g);
@@ -410,6 +480,39 @@ class Manager {
   bool auto_gc_ = true;
   ManagerStats stats_;
   int diag_source_id_ = -1;  // registration with diag::Registry::global()
+
+  // Resource governance state.  The limit fields cache the installed
+  // budget's limits in checkpoint-friendly form (max() / 0 = "off") so the
+  // hot paths test a single member.
+  guard::ResourceBudget budget_;
+  std::size_t depth_limit_ = std::numeric_limits<std::size_t>::max();
+  std::size_t node_hard_limit_ = 0;   // 0 = unlimited
+  std::size_t node_soft_limit_ = 0;   // 0 = none
+  std::size_t memory_limit_ = 0;      // 0 = unlimited
+  std::uint64_t deadline_ns_ = 0;     // absolute steady-clock ns; 0 = none
+  std::uint64_t budget_epoch_ns_ = 0;  // steady-clock ns at install
+  std::size_t depth_ = 0;             // live guarded kernel frames
+  std::uint32_t poll_ = 0;            // deadline poll tick
+  std::size_t last_soft_gc_live_ = 0;  // thrash guard for soft GCs
+};
+
+/// Cooperative guard for fixpoint loops (reachability, EU/EG, the
+/// Emerson-Lei loop, invariant BFS): call tick() once per iteration.
+/// Counts iterations against the manager's budget and polls the deadline
+/// and memory ceiling; throws guard::IterationLimitExceeded /
+/// DeadlineExceeded / MemoryLimitExceeded with the iteration count in the
+/// carried BudgetSpent.
+class FixpointGuard {
+ public:
+  FixpointGuard(Manager& mgr, const char* loop_name)
+      : mgr_(mgr), name_(loop_name) {}
+  void tick();
+  [[nodiscard]] std::size_t iterations() const { return iterations_; }
+
+ private:
+  Manager& mgr_;
+  const char* name_;
+  std::size_t iterations_ = 0;
 };
 
 /// Should gc() follow each collection with Manager::audit()?  Defaults to

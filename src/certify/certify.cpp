@@ -343,6 +343,26 @@ Certificate TraceCertifier::certify_eu(const core::Trace& trace,
   return cert;
 }
 
+Certificate TraceCertifier::certify_prefix(const core::Trace& trace,
+                                           const bdd::Bdd& f) const {
+  Certificate cert;
+  std::vector<std::vector<bool>> decoded;
+  check_structure(trace, cert, decoded);
+  cert.require("prefix-only", trace.cycle.empty(),
+               "a salvaged partial witness is a finite path, not a lasso");
+  cert.require("prefix-nonempty", !trace.prefix.empty(),
+               "a salvaged partial witness must contain at least one state");
+  const std::size_t prefix_len = trace.prefix.size();
+  for (std::size_t k = 0; k < decoded.size(); ++k) {
+    if (decoded[k].empty()) continue;
+    cert.require("prefix-invariant[" + std::to_string(k) + "]",
+                 eval_on_state(f, decoded[k]),
+                 position(k, prefix_len) + " must satisfy f");
+  }
+  count_certificate(cert);
+  return cert;
+}
+
 Certificate TraceCertifier::certify_ex(const core::Trace& trace,
                                        const bdd::Bdd& f) const {
   Certificate cert;

@@ -142,6 +142,15 @@ class TraceCertifier {
   [[nodiscard]] Certificate certify_fragment(
       const core::Trace& trace, const std::vector<FragmentDuty>& duties) const;
 
+  /// Partial evidence salvaged from a budget-aborted construction
+  /// (WitnessGenerator::take_partial): a finite path -- no cycle -- whose
+  /// every state satisfies f and whose every step is a real transition.
+  /// Weaker than certify_eg (nothing is promised about what the full lasso
+  /// would have been), but enough to make a kUnknown outcome's partial
+  /// trace trustworthy.
+  [[nodiscard]] Certificate certify_prefix(const core::Trace& trace,
+                                           const bdd::Bdd& f) const;
+
  private:
   struct CrossCheck;
 

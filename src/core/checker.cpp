@@ -101,6 +101,42 @@ bool Checker::holds(const std::string& formula_text) {
   return holds(ctl::parse(formula_text));
 }
 
+const char* verdict_name(Verdict v) {
+  switch (v) {
+    case Verdict::kTrue:
+      return "true";
+    case Verdict::kFalse:
+      return "false";
+    case Verdict::kUnknown:
+      return "unknown";
+  }
+  return "?";
+}
+
+CheckOutcome Checker::check(const ctl::Formula::Ptr& f) {
+  CheckOutcome out;
+  try {
+    out.verdict = holds(f) ? Verdict::kTrue : Verdict::kFalse;
+  } catch (const guard::ResourceExhausted& e) {
+    // The bdd layer already unwound to an audit-clean state; report the
+    // abort as a three-valued unknown.  fair_ and the memo only ever hold
+    // completed results, so a rerun under a raised budget is correct.
+    out.verdict = Verdict::kUnknown;
+    out.exhausted = e.resource();
+    out.reason = e.what();
+    out.spent = e.spent();
+    diag::Registry::global().add_in("guard",
+                                    std::string("unknown.") +
+                                        guard::resource_name(e.resource()),
+                                    1);
+  }
+  return out;
+}
+
+CheckOutcome Checker::check(const std::string& formula_text) {
+  return check(ctl::parse(formula_text));
+}
+
 // ---------------------------------------------------------------------------
 // Plain CTL primitives
 // ---------------------------------------------------------------------------
@@ -113,7 +149,9 @@ bdd::Bdd Checker::ex_raw(const bdd::Bdd& f) {
 bdd::Bdd Checker::eu_raw(const bdd::Bdd& f, const bdd::Bdd& g) {
   const bool diag_on = diag::enabled();
   bdd::Bdd z = g;
+  bdd::FixpointGuard fixpoint_guard(ts_.manager(), "eu");
   for (;;) {
+    fixpoint_guard.tick();
     ++stats_.eu_iterations;
     if (diag_on) diag::Registry::global().add("fixpoint.eu_iterations");
     const bdd::Bdd znew = g | (f & ex_raw(z));
@@ -125,7 +163,9 @@ bdd::Bdd Checker::eu_raw(const bdd::Bdd& f, const bdd::Bdd& g) {
 std::vector<bdd::Bdd> Checker::eu_rings(const bdd::Bdd& f, const bdd::Bdd& g) {
   const bool diag_on = diag::enabled();
   std::vector<bdd::Bdd> rings{g};
+  bdd::FixpointGuard fixpoint_guard(ts_.manager(), "eu_rings");
   for (;;) {
+    fixpoint_guard.tick();
     ++stats_.eu_iterations;
     if (diag_on) diag::Registry::global().add("fixpoint.eu_iterations");
     const bdd::Bdd znew = g | (f & ex_raw(rings.back()));
@@ -137,7 +177,9 @@ std::vector<bdd::Bdd> Checker::eu_rings(const bdd::Bdd& f, const bdd::Bdd& g) {
 bdd::Bdd Checker::eg_raw(const bdd::Bdd& f) {
   const bool diag_on = diag::enabled();
   bdd::Bdd z = f;
+  bdd::FixpointGuard fixpoint_guard(ts_.manager(), "eg");
   for (;;) {
+    fixpoint_guard.tick();
     ++stats_.eg_iterations;
     if (diag_on) diag::Registry::global().add("fixpoint.eg_iterations");
     const bdd::Bdd znew = f & ex_raw(z);
@@ -180,7 +222,9 @@ bdd::Bdd Checker::eg(const bdd::Bdd& f) {
   // eg_with_rings when a witness is requested.
   const bool diag_on = diag::enabled();
   bdd::Bdd z = f;
+  bdd::FixpointGuard fixpoint_guard(ts_.manager(), "fair_eg");
   for (;;) {
+    fixpoint_guard.tick();
     ++stats_.eg_iterations;
     if (diag_on) diag::Registry::global().add("fixpoint.eg_iterations");
     bdd::Bdd znew = f;
@@ -208,7 +252,9 @@ FairEG Checker::eg_with_rings(const bdd::Bdd& f,
   // Outer greatest fixpoint.
   const bool diag_on = diag::enabled();
   bdd::Bdd z = f;
+  bdd::FixpointGuard fixpoint_guard(ts_.manager(), "fair_eg_rings");
   for (;;) {
+    fixpoint_guard.tick();
     ++stats_.eg_iterations;
     if (diag_on) diag::Registry::global().add("fixpoint.eg_iterations");
     bdd::Bdd znew = f;

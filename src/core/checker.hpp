@@ -20,12 +20,15 @@
 #pragma once
 
 #include <cstddef>
+#include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "bdd/bdd.hpp"
 #include "ctl/formula.hpp"
+#include "guard/guard.hpp"
+#include "core/trace.hpp"
 #include "ts/transition_system.hpp"
 
 namespace symcex::core {
@@ -56,6 +59,41 @@ struct FairEG {
   std::vector<std::vector<bdd::Bdd>> rings;
 };
 
+/// Three-valued verdict for budgeted runs.
+enum class Verdict {
+  kTrue,     ///< the property holds on every initial state
+  kFalse,    ///< the property fails on some initial state
+  kUnknown,  ///< the budget ran out before a verdict (see CheckOutcome)
+};
+
+/// Short stable name of a verdict ("true", "false", "unknown").
+[[nodiscard]] const char* verdict_name(Verdict v);
+
+/// The result of a budgeted check.  Exhaustion does not propagate out of
+/// the outcome-returning entry points (Checker::check, Explainer::check,
+/// StarChecker::check, check_containment): a run the budget kills comes
+/// back as kUnknown with the reason, the resource that ran out, the budget
+/// spent at the abort, and -- when the witness generator got far enough --
+/// the partial trace prefix it had built.  The manager is left audit-clean,
+/// so raising the budget and rerunning the same query is always legal.
+struct CheckOutcome {
+  Verdict verdict = Verdict::kUnknown;
+  /// Which resource ran out (set only when verdict == kUnknown).
+  std::optional<guard::Resource> exhausted;
+  /// Human-readable exhaustion reason (empty on a known verdict).
+  std::string reason;
+  /// Consumption snapshot at the abort (the manager's diag-folded budget
+  /// counters; meaningful only when verdict == kUnknown).
+  guard::BudgetSpent spent;
+  /// A witness/counterexample when one was produced; on kUnknown this may
+  /// carry the partial prefix the witness generator had accumulated.
+  std::optional<Trace> trace;
+  /// True when `trace` is an incomplete prefix salvaged from an abort.
+  bool trace_is_partial = false;
+
+  [[nodiscard]] bool known() const { return verdict != Verdict::kUnknown; }
+};
+
 /// The symbolic model checker.  Binds to one finalized TransitionSystem;
 /// fairness constraints registered on the system are honoured by the
 /// formula-level API and by ex()/eu()/eg().
@@ -76,6 +114,15 @@ class Checker {
   [[nodiscard]] bool holds(const ctl::Formula::Ptr& f);
   /// Parse + holds.
   [[nodiscard]] bool holds(const std::string& formula_text);
+
+  /// Budgeted holds(): catches guard::ResourceExhausted and returns a
+  /// three-valued outcome instead of propagating the crash.  Only
+  /// completed subformula results are memoized, so rerunning the same
+  /// query after install_budget with a larger budget gives the correct
+  /// verdict on this same checker and manager.
+  [[nodiscard]] CheckOutcome check(const ctl::Formula::Ptr& f);
+  /// Parse + check.
+  [[nodiscard]] CheckOutcome check(const std::string& formula_text);
 
   /// Resolve an atomic proposition to a state set (label or variable).
   [[nodiscard]] bdd::Bdd resolve_atom(const std::string& name) const;

@@ -24,6 +24,32 @@ Explanation Explainer::explain(const std::string& spec_text) {
   return explain(ctl::parse(spec_text));
 }
 
+CheckOutcome Explainer::check(const std::string& spec_text) {
+  return check(ctl::parse(spec_text));
+}
+
+CheckOutcome Explainer::check(const Formula::Ptr& spec) {
+  CheckOutcome out;
+  try {
+    Explanation explanation = explain(spec);
+    out.verdict = explanation.holds ? Verdict::kTrue : Verdict::kFalse;
+    out.trace = std::move(explanation.trace);
+    out.reason = std::move(explanation.note);
+  } catch (const guard::ResourceExhausted& e) {
+    out.verdict = Verdict::kUnknown;
+    out.exhausted = e.resource();
+    out.reason = e.what();
+    out.spent = e.spent();
+    // The witness generator may have salvaged a path prefix before the
+    // abort; surface it (it is certifiable as a prefix).
+    if (auto partial = generator_.take_partial()) {
+      out.trace = std::move(partial);
+      out.trace_is_partial = true;
+    }
+  }
+  return out;
+}
+
 Explanation Explainer::explain(const Formula::Ptr& spec) {
   auto& ts = checker_.system();
   const Formula::Ptr enf = ctl::to_existential_normal_form(spec);

@@ -51,6 +51,13 @@ class Explainer {
   [[nodiscard]] Explanation explain(const ctl::Formula::Ptr& spec);
   [[nodiscard]] Explanation explain(const std::string& spec_text);
 
+  /// Budgeted explain(): exhaustion comes back as CheckOutcome::kUnknown
+  /// (with reason and budget spent) instead of a thrown
+  /// guard::ResourceExhausted, and any partial trace prefix the witness
+  /// generator salvaged rides along with trace_is_partial set.
+  [[nodiscard]] CheckOutcome check(const ctl::Formula::Ptr& spec);
+  [[nodiscard]] CheckOutcome check(const std::string& spec_text);
+
   /// The witness generator used underneath (for its stats).
   [[nodiscard]] WitnessGenerator& witnesses() { return generator_; }
 

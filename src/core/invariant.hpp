@@ -35,11 +35,18 @@ struct InvariantResult {
   /// Number of image steps taken before deciding (the violation depth, or
   /// the reachability diameter when the invariant holds).
   std::size_t depth = 0;
+  /// Three-valued verdict: kUnknown when the resource budget ran out
+  /// before a decision (then holds is false, counterexample empty,
+  /// unknown_reason says why, and depth counts the layers explored).
+  Verdict verdict = Verdict::kUnknown;
+  std::string unknown_reason;
 };
 
 /// Check AG `invariant` by forward reachability.  The verdict agrees with
 /// Checker::holds("AG p"); the counterexample prefix is minimal over all
-/// paths to a fair violating state.
+/// paths to a fair violating state.  A guard::ResourceExhausted abort is
+/// caught and reported as verdict == kUnknown; rerun after raising the
+/// budget on the same manager for the real verdict.
 [[nodiscard]] InvariantResult check_invariant(Checker& checker,
                                               const bdd::Bdd& invariant,
                                               bool extend_to_fair = true);

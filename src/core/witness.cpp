@@ -30,6 +30,12 @@ WitnessGenerator::WitnessGenerator(Checker& checker,
                                    const WitnessOptions& options)
     : checker_(checker), options_(options) {}
 
+std::optional<Trace> WitnessGenerator::take_partial() {
+  std::optional<Trace> out = std::move(partial_);
+  partial_.reset();
+  return out;
+}
+
 std::vector<bdd::Bdd> WitnessGenerator::walk_rings(
     const std::vector<bdd::Bdd>& rings, const bdd::Bdd& from) {
   auto& ts = checker_.system();
@@ -102,126 +108,140 @@ Trace WitnessGenerator::eg_lasso(const FairEG& info, const bdd::Bdd& f_states,
   }
 
   std::vector<bdd::Bdd> accumulated_prefix;  // across restarts
-  for (std::size_t attempt = 0;; ++attempt) {
-    if (attempt > max_restarts) {
-      throw std::logic_error(
-          "WitnessGenerator::eg: restart bound exceeded (internal error)");
-    }
+  std::vector<bdd::Bdd> segment;  // current attempt (for partial capture)
+  try {
+    for (std::size_t attempt = 0;; ++attempt) {
+      if (attempt > max_restarts) {
+        throw std::logic_error(
+            "WitnessGenerator::eg: restart bound exceeded (internal error)");
+      }
 
-    // ---- build the constraint-visiting segment s, t, ..., s' ------------
-    std::vector<bdd::Bdd> segment{s};
-    bdd::Bdd current = s;
-    bdd::Bdd t;        // cycle anchor: first successor of s on the segment
-    bdd::Bdd reach_t;  // E[(EG f) U {t}] for the early-exit strategy
-    std::vector<bool> pending(num_constraints, true);
-    std::size_t num_pending = num_constraints;
-    bool restart = false;
+      // ---- build the constraint-visiting segment s, t, ..., s' ------------
+      segment.clear();
+      segment.push_back(s);
+      bdd::Bdd current = s;
+      bdd::Bdd t;        // cycle anchor: first successor of s on the segment
+      bdd::Bdd reach_t;  // E[(EG f) U {t}] for the early-exit strategy
+      std::vector<bool> pending(num_constraints, true);
+      std::size_t num_pending = num_constraints;
+      bool restart = false;
 
-    auto mark_in_place = [&](const bdd::Bdd& state) {
-      if (!options_.mark_satisfied_in_place) return;
-      for (std::size_t k = 0; k < num_constraints; ++k) {
-        if (pending[k] && state.intersects(z & info.constraints[k])) {
-          pending[k] = false;
+      auto mark_in_place = [&](const bdd::Bdd& state) {
+        if (!options_.mark_satisfied_in_place) return;
+        for (std::size_t k = 0; k < num_constraints; ++k) {
+          if (pending[k] && state.intersects(z & info.constraints[k])) {
+            pending[k] = false;
+            --num_pending;
+          }
+        }
+      };
+
+      auto append = [&](const bdd::Bdd& state) {
+        segment.push_back(state);
+        current = state;
+        ++stats_.ring_steps;
+        if (diag_on) diag::Registry::global().add("witness.ring_steps");
+        if (t.is_null()) {
+          t = state;
+          if (options_.strategy == CycleCloseStrategy::kEarlyExit) {
+            reach_t = checker_.eu_raw(z, t);
+          }
+        }
+        mark_in_place(state);
+        if (!reach_t.is_null() && !state.intersects(reach_t)) {
+          // The segment left E[(EG f) U {t}]: the cycle through t can no
+          // longer be completed; restart from here immediately.
+          restart = true;
+          ++stats_.early_exits;
+          if (diag_on) diag::Registry::global().add("witness.early_exits");
+        }
+      };
+
+      while (num_pending > 0 && !restart) {
+        // Choose the fairness constraint reached soonest: test the saved
+        // rings Q_i^h for increasing i until one contains a successor.
+        const bdd::Bdd succ = ts.image(current, method);
+        std::size_t best_k = num_constraints;
+        std::size_t best_i = kNoRing;
+        for (std::size_t i = 0; best_k == num_constraints; ++i) {
+          bool any_longer = false;
+          for (std::size_t k = 0; k < num_constraints; ++k) {
+            if (!pending[k] || i >= info.rings[k].size()) continue;
+            any_longer = true;
+            if (succ.intersects(info.rings[k][i])) {
+              best_k = k;
+              best_i = i;
+              break;
+            }
+          }
+          if (!any_longer) break;
+        }
+        if (best_k == num_constraints) {
+          throw std::logic_error(
+              "WitnessGenerator::eg: no successor in any ring (internal "
+              "error: current state should satisfy EG f)");
+        }
+        // Step into ring best_i, then descend best_i-1, ..., 0.
+        append(ts.pick_state(succ & info.rings[best_k][best_i]));
+        for (std::size_t j = best_i; j-- > 0 && !restart;) {
+          const bdd::Bdd step = ts.image(current, method);
+          append(ts.pick_state(step & info.rings[best_k][j]));
+        }
+        if (!restart && pending[best_k]) {
+          pending[best_k] = false;
           --num_pending;
         }
       }
-    };
 
-    auto append = [&](const bdd::Bdd& state) {
-      segment.push_back(state);
-      current = state;
-      ++stats_.ring_steps;
-      if (diag_on) diag::Registry::global().add("witness.ring_steps");
-      if (t.is_null()) {
-        t = state;
-        if (options_.strategy == CycleCloseStrategy::kEarlyExit) {
-          reach_t = checker_.eu_raw(z, t);
-        }
+      if (restart) {
+        // current never reaches t: everything up to current becomes prefix.
+        accumulated_prefix.insert(accumulated_prefix.end(), segment.begin(),
+                                  segment.end() - 1);
+        s = current;
+        ++stats_.restarts;
+        if (diag_on) diag::Registry::global().add("witness.restarts");
+        continue;
       }
-      mark_in_place(state);
-      if (!reach_t.is_null() && !state.intersects(reach_t)) {
-        // The segment left E[(EG f) U {t}]: the cycle through t can no
-        // longer be completed; restart from here immediately.
-        restart = true;
-        ++stats_.early_exits;
-        if (diag_on) diag::Registry::global().add("witness.early_exits");
-      }
-    };
 
-    while (num_pending > 0 && !restart) {
-      // Choose the fairness constraint reached soonest: test the saved
-      // rings Q_i^h for increasing i until one contains a successor.
-      const bdd::Bdd succ = ts.image(current, method);
-      std::size_t best_k = num_constraints;
-      std::size_t best_i = kNoRing;
-      for (std::size_t i = 0; best_k == num_constraints; ++i) {
-        bool any_longer = false;
-        for (std::size_t k = 0; k < num_constraints; ++k) {
-          if (!pending[k] || i >= info.rings[k].size()) continue;
-          any_longer = true;
-          if (succ.intersects(info.rings[k][i])) {
-            best_k = k;
-            best_i = i;
-            break;
-          }
-        }
-        if (!any_longer) break;
-      }
-      if (best_k == num_constraints) {
-        throw std::logic_error(
-            "WitnessGenerator::eg: no successor in any ring (internal "
-            "error: current state should satisfy EG f)");
-      }
-      // Step into ring best_i, then descend best_i-1, ..., 0.
-      append(ts.pick_state(succ & info.rings[best_k][best_i]));
-      for (std::size_t j = best_i; j-- > 0 && !restart;) {
-        const bdd::Bdd step = ts.image(current, method);
-        append(ts.pick_state(step & info.rings[best_k][j]));
-      }
-      if (!restart && pending[best_k]) {
-        pending[best_k] = false;
-        --num_pending;
-      }
-    }
+      // Degenerate case: zero constraints can not happen (eg_with_rings
+      // guarantees at least the constraint "true"), so t is set here.
+      const bdd::Bdd s_prime = current;
 
-    if (restart) {
-      // current never reaches t: everything up to current becomes prefix.
+      // ---- close the cycle: non-trivial path s' -> t within f -------------
+      // This is a witness for  {s'} & EX E[f U {t}].
+      const diag::PhaseScope closure_phase("closure");
+      const std::vector<bdd::Bdd> closure_rings =
+          checker_.eu_rings(f_states, t);
+      const bdd::Bdd succ = ts.image(s_prime, method);
+      if (succ.intersects(closure_rings.back())) {
+        std::vector<bdd::Bdd> closure = walk_rings(closure_rings, succ);
+        // Cycle: t ... s' followed by the closing path minus its final t.
+        std::vector<bdd::Bdd> cycle(segment.begin() + 1, segment.end());
+        cycle.insert(cycle.end(), closure.begin(), closure.end() - 1);
+        Trace out;
+        out.prefix = std::move(accumulated_prefix);
+        out.prefix.push_back(segment.front());
+        out.cycle = std::move(cycle);
+        return out;
+      }
+
+      // Closure failed: s' is outside the SCC containing t.  Restart from
+      // s'; this strictly descends the SCC DAG (Figure 2 of the paper).
       accumulated_prefix.insert(accumulated_prefix.end(), segment.begin(),
                                 segment.end() - 1);
-      s = current;
+      s = s_prime;
       ++stats_.restarts;
-      if (diag_on) diag::Registry::global().add("witness.restarts");
-      continue;
     }
-
-    // Degenerate case: zero constraints can not happen (eg_with_rings
-    // guarantees at least the constraint "true"), so t is set here.
-    const bdd::Bdd s_prime = current;
-
-    // ---- close the cycle: non-trivial path s' -> t within f -------------
-    // This is a witness for  {s'} & EX E[f U {t}].
-    const diag::PhaseScope closure_phase("closure");
-    const std::vector<bdd::Bdd> closure_rings =
-        checker_.eu_rings(f_states, t);
-    const bdd::Bdd succ = ts.image(s_prime, method);
-    if (succ.intersects(closure_rings.back())) {
-      std::vector<bdd::Bdd> closure = walk_rings(closure_rings, succ);
-      // Cycle: t ... s' followed by the closing path minus its final t.
-      std::vector<bdd::Bdd> cycle(segment.begin() + 1, segment.end());
-      cycle.insert(cycle.end(), closure.begin(), closure.end() - 1);
-      Trace out;
-      out.prefix = std::move(accumulated_prefix);
-      out.prefix.push_back(segment.front());
-      out.cycle = std::move(cycle);
-      return out;
-    }
-
-    // Closure failed: s' is outside the SCC containing t.  Restart from
-    // s'; this strictly descends the SCC DAG (Figure 2 of the paper).
-    accumulated_prefix.insert(accumulated_prefix.end(), segment.begin(),
-                              segment.end() - 1);
-    s = s_prime;
-    ++stats_.restarts;
+  } catch (const guard::ResourceExhausted&) {
+    // Salvage what the construction had: the restart prefix plus the
+    // segment under construction form a valid path prefix inside EG f.
+    // Explainer::check / take_partial surface it with the kUnknown
+    // outcome; certify::TraceCertifier::certify_prefix can re-check it.
+    partial_ = Trace{};
+    partial_->prefix = std::move(accumulated_prefix);
+    partial_->prefix.insert(partial_->prefix.end(), segment.begin(),
+                            segment.end());
+    throw;
   }
 }
 

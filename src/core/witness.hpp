@@ -32,6 +32,7 @@
 
 #include <cstddef>
 #include <memory>
+#include <optional>
 
 #include "bdd/bdd.hpp"
 #include "certify/certify.hpp"
@@ -102,6 +103,14 @@ class WitnessGenerator {
   [[nodiscard]] const WitnessStats& stats() const { return stats_; }
   void reset_stats() { stats_ = WitnessStats{}; }
 
+  /// The partial path prefix salvaged from the most recent construction a
+  /// guard::ResourceExhausted aborted, if any (consumed on read).  Every
+  /// consecutive pair is a real transition and every state satisfies the
+  /// invariant of the aborted EG -- certifiable with
+  /// certify::TraceCertifier::certify_prefix.  Explainer::check attaches
+  /// it to the kUnknown outcome automatically.
+  [[nodiscard]] std::optional<Trace> take_partial();
+
   /// Extend a finite trace ending in a fair state to an infinite fair path
   /// by appending an EG-true lasso (the paper's "extend witnesses for
   /// E[f U g] and EX f to infinite fair paths").
@@ -124,6 +133,7 @@ class WitnessGenerator {
   FairEG fair_true_info_;
   bool have_fair_true_ = false;
   std::unique_ptr<certify::TraceCertifier> certifier_;
+  std::optional<Trace> partial_;  // salvage from an exhaustion abort
 };
 
 }  // namespace symcex::core

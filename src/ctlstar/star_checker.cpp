@@ -170,7 +170,9 @@ bdd::Bdd StarChecker::fixpoint(const std::vector<Conjunct>& cs) {
   auto& mgr = base_.system().manager();
   // gfp Y [ AND_j ( (q_j & EX Y) | EX E[Y U (p_j & Y)] ) ], then EF of it.
   bdd::Bdd y = mgr.one();
+  bdd::FixpointGuard fixpoint_guard(mgr, "el_gfp");
   for (;;) {
+    fixpoint_guard.tick();
     if (diag_on) diag::Registry::global().add("fixpoint.outer_iterations");
     bdd::Bdd ynew = mgr.one();
     for (const auto& c : cs) {
@@ -319,6 +321,27 @@ StarExplanation StarChecker::explain(const Formula::Ptr& f) {
   }
   out.trace = witness(f, ts.init());
   out.note = "witness: fair execution demonstrating the formula";
+  return out;
+}
+
+core::CheckOutcome StarChecker::check(const Formula::Ptr& f) {
+  core::CheckOutcome out;
+  try {
+    StarExplanation explanation = explain(f);
+    out.verdict =
+        explanation.holds ? core::Verdict::kTrue : core::Verdict::kFalse;
+    out.trace = std::move(explanation.trace);
+    out.reason = std::move(explanation.note);
+  } catch (const guard::ResourceExhausted& e) {
+    out.verdict = core::Verdict::kUnknown;
+    out.exhausted = e.resource();
+    out.reason = e.what();
+    out.spent = e.spent();
+    if (auto partial = generator_.take_partial()) {
+      out.trace = std::move(partial);
+      out.trace_is_partial = true;
+    }
+  }
   return out;
 }
 

@@ -110,6 +110,13 @@ class StarChecker {
   /// false), against the system's initial states.
   [[nodiscard]] StarExplanation explain(const ctl::Formula::Ptr& f);
 
+  /// Budgeted explain(): a guard::ResourceExhausted abort (out of nodes,
+  /// deadline, iteration cap, ...) comes back as Verdict::kUnknown with
+  /// the reason and budget spent, plus any partial trace the witness
+  /// generator salvaged.  Rerun on the same checker after raising the
+  /// manager budget to get the real verdict.
+  [[nodiscard]] core::CheckOutcome check(const ctl::Formula::Ptr& f);
+
   /// Number of fixpoint evaluations performed (the Section 9 cost remark).
   [[nodiscard]] std::size_t fixpoint_evaluations() const {
     return fixpoint_evaluations_;

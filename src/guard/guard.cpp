@@ -1,0 +1,90 @@
+#include "guard/guard.hpp"
+
+#include <cstdlib>
+#include <sstream>
+
+namespace symcex::guard {
+
+const char* resource_name(Resource r) {
+  switch (r) {
+    case Resource::kNodes:
+      return "nodes";
+    case Resource::kMemory:
+      return "memory";
+    case Resource::kTime:
+      return "time";
+    case Resource::kIterations:
+      return "iterations";
+    case Resource::kDepth:
+      return "depth";
+    case Resource::kAllocation:
+      return "allocation";
+  }
+  return "unknown";
+}
+
+std::string BudgetSpent::to_string() const {
+  std::ostringstream os;
+  os << "live_nodes=" << live_nodes << " peak_nodes=" << peak_nodes
+     << " memory_bytes=" << memory_bytes << " elapsed_ms=" << elapsed_ms
+     << " iterations=" << iterations << " depth=" << depth
+     << " soft_gc_runs=" << soft_gc_runs;
+  return os.str();
+}
+
+namespace {
+
+/// Parse a non-negative integer environment variable; `fallback` when the
+/// variable is unset, empty, or not a clean number.
+std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return fallback;
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(value, &end, 10);
+  if (end == value || *end != '\0') return fallback;
+  return static_cast<std::uint64_t>(parsed);
+}
+
+}  // namespace
+
+ResourceBudget ResourceBudget::unlimited() {
+  ResourceBudget b;
+  b.max_recursion_depth = 0;
+  return b;
+}
+
+ResourceBudget ResourceBudget::from_env() {
+  ResourceBudget b;
+  b.max_live_nodes =
+      static_cast<std::size_t>(env_u64("SYMCEX_NODE_LIMIT", 0));
+  b.max_memory_bytes = static_cast<std::size_t>(
+      env_u64("SYMCEX_MEMORY_LIMIT_MB", 0) * 1024 * 1024);
+  b.deadline_ms = env_u64("SYMCEX_DEADLINE_MS", 0);
+  b.max_fixpoint_iterations =
+      static_cast<std::size_t>(env_u64("SYMCEX_MAX_ITERATIONS", 0));
+  b.max_recursion_depth = static_cast<std::size_t>(
+      env_u64("SYMCEX_MAX_DEPTH", b.max_recursion_depth));
+  return b;
+}
+
+namespace {
+// Innermost ambient budget for this thread (nullptr = none installed).
+thread_local const ResourceBudget* g_ambient = nullptr;
+}  // namespace
+
+ScopedBudget::ScopedBudget(const ResourceBudget& budget)
+    : budget_(budget), prev_(g_ambient) {
+  g_ambient = &budget_;
+}
+
+ScopedBudget::~ScopedBudget() { g_ambient = prev_; }
+
+const ResourceBudget& ScopedBudget::current() {
+  if (g_ambient != nullptr) return *g_ambient;
+  // The environment is read once per thread; tests that mutate it install
+  // a ScopedBudget instead of relying on re-reads.
+  thread_local const ResourceBudget env_budget = ResourceBudget::from_env();
+  return env_budget;
+}
+
+}  // namespace symcex::guard

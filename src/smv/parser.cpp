@@ -2,6 +2,7 @@
 
 #include <cctype>
 #include <optional>
+#include <stdexcept>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -196,7 +197,14 @@ class Lexer {
       }
       const std::string digits = text_.substr(pos_, end - pos_);
       pos_ = end;
-      cur_ = Token{T::kInt, digits, std::stoll(digits), line_, start};
+      std::int64_t value = 0;
+      try {
+        value = std::stoll(digits);
+      } catch (const std::out_of_range&) {
+        throw SmvError("integer literal '" + digits + "' out of range",
+                       line_);
+      }
+      cur_ = Token{T::kInt, digits, value, line_, start};
       return;
     }
     if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
@@ -465,7 +473,32 @@ class Parser {
 
   // -- expressions (precedence climbing) -------------------------------------
 
-  ExprP parse_expr() { return parse_iff(); }
+  /// Bound on expression nesting.  The recursive descent burns a dozen-odd
+  /// stack frames per level, so without a limit a mechanically generated
+  /// "((((...1...))))" or "!!!!...x" overflows the stack instead of
+  /// reporting a parse error.  2000 levels is far beyond any real model
+  /// and stays well inside the default 8 MiB stack.
+  static constexpr std::size_t kMaxExprDepth = 2000;
+
+  struct DepthGuard {
+    explicit DepthGuard(Parser& p) : p_(p) {
+      if (++p_.expr_depth_ > kMaxExprDepth) {
+        --p_.expr_depth_;  // the destructor will not run after a throw
+        throw SmvError("expression nested deeper than " +
+                           std::to_string(kMaxExprDepth) + " levels",
+                       p_.lex_.peek().line);
+      }
+    }
+    ~DepthGuard() { --p_.expr_depth_; }
+    DepthGuard(const DepthGuard&) = delete;
+    DepthGuard& operator=(const DepthGuard&) = delete;
+    Parser& p_;
+  };
+
+  ExprP parse_expr() {
+    const DepthGuard depth(*this);
+    return parse_iff();
+  }
 
   ExprP parse_iff() {
     ExprP e = parse_implies();
@@ -516,6 +549,7 @@ class Parser {
   /// arithmetic (NuSMV-style: "AF st = done" means AF (st = done)) but
   /// tighter than '&'.
   ExprP parse_temporal() {
+    const DepthGuard depth(*this);
     const Token t = lex_.peek();
     auto unary = [&](EK k) {
       lex_.take();
@@ -632,6 +666,7 @@ class Parser {
   }
 
   ExprP parse_unary() {
+    const DepthGuard depth(*this);
     const Token t = lex_.peek();
     switch (t.kind) {
       case T::kNot: {
@@ -725,6 +760,7 @@ class Parser {
   Program prog_;
   Module* cur_ = nullptr;
   std::size_t last_end_ = 0;  // offset just past the last consumed token
+  std::size_t expr_depth_ = 0;  // current expression nesting (DepthGuard)
 };
 
 }  // namespace

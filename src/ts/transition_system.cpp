@@ -370,7 +370,11 @@ const bdd::Bdd& TransitionSystem::reachable() const {
     const bool diag_on = diag::enabled();
     bdd::Bdd reached = init_;
     bdd::Bdd frontier = init_;
+    // Budget checkpoint per frontier step; on exhaustion reachable_ stays
+    // null, so a rerun under a raised budget recomputes from scratch.
+    bdd::FixpointGuard fixpoint_guard(*mgr_, "reachable");
     while (!frontier.is_false()) {
+      fixpoint_guard.tick();
       if (diag_on) diag::Registry::global().add("reach.iterations");
       const bdd::Bdd img = image(frontier);
       frontier = img - reached;

@@ -1,0 +1,242 @@
+// Exhaustion-recovery tests across the checker stack: a query killed by a
+// tiny budget must surface a typed kUnknown outcome (never a crash or a
+// wrong verdict), leave the manager audit-clean, and succeed when rerun on
+// the very same manager after the budget is raised.
+
+#include <chrono>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "automata/streett.hpp"
+#include "certify/certify.hpp"
+#include "core/checker.hpp"
+#include "core/explain.hpp"
+#include "core/invariant.hpp"
+#include "core/witness.hpp"
+#include "ctlstar/star_checker.hpp"
+#include "guard/guard.hpp"
+#include "models/models.hpp"
+
+namespace symcex {
+namespace {
+
+TEST(Verdicts, NamesAreStable) {
+  EXPECT_STREQ(core::verdict_name(core::Verdict::kTrue), "true");
+  EXPECT_STREQ(core::verdict_name(core::Verdict::kFalse), "false");
+  EXPECT_STREQ(core::verdict_name(core::Verdict::kUnknown), "unknown");
+  EXPECT_FALSE(core::CheckOutcome{}.known());
+}
+
+// The defining test of the governance layer: kill an EU fixpoint with an
+// iteration budget, observe kUnknown with the right resource, raise the
+// budget on the SAME manager, and get the certified true verdict.
+TEST(Exhaustion, IterationBudgetKillsEuThenRaisedBudgetRerunSucceeds) {
+  auto ts = models::counter({.width = 6});  // EF zero needs ~64 iterations
+  core::Checker ck(*ts);
+
+  guard::ResourceBudget tiny;
+  tiny.max_fixpoint_iterations = 2;
+  ts->manager().install_budget(tiny);
+
+  const core::CheckOutcome unknown = ck.check("AG EF zero");
+  EXPECT_EQ(unknown.verdict, core::Verdict::kUnknown);
+  ASSERT_TRUE(unknown.exhausted.has_value());
+  EXPECT_EQ(*unknown.exhausted, guard::Resource::kIterations);
+  EXPECT_FALSE(unknown.reason.empty());
+  EXPECT_GE(unknown.spent.iterations, 3u);  // the tick that tripped the cap
+  EXPECT_EQ(ts->manager().audit_check(), "");
+
+  // Raise (not clear) the budget: generous but still finite.
+  guard::ResourceBudget raised;
+  raised.max_fixpoint_iterations = 10'000;
+  ts->manager().install_budget(raised);
+  const core::CheckOutcome known = ck.check("AG EF zero");
+  EXPECT_EQ(known.verdict, core::Verdict::kTrue);
+  EXPECT_TRUE(known.known());
+  EXPECT_FALSE(known.exhausted.has_value());
+  EXPECT_EQ(ts->manager().audit_check(), "");
+}
+
+TEST(Exhaustion, NodeBudgetKillsImageComputationThenRerunSucceeds) {
+  auto ts = models::counter({.width = 8});
+  core::Checker ck(*ts);
+
+  // Collect first so the limit is relative to genuinely referenced nodes:
+  // live_nodes counts unique-table entries including uncollected garbage,
+  // and the first GC under pressure would otherwise free enough headroom
+  // for the whole fixpoint to fit.
+  ts->manager().gc();
+  guard::ResourceBudget tiny;
+  // +2 nodes of headroom: not even GC-and-retry can fit the fixpoint's
+  // frontier BDDs in that, so the hard limit must fire.
+  tiny.max_live_nodes = ts->manager().stats().live_nodes + 2;
+  ts->manager().install_budget(tiny);
+
+  const core::CheckOutcome unknown = ck.check("EF max");
+  EXPECT_EQ(unknown.verdict, core::Verdict::kUnknown);
+  ASSERT_TRUE(unknown.exhausted.has_value());
+  EXPECT_EQ(*unknown.exhausted, guard::Resource::kNodes);
+  // Graceful degradation ran first: at least one GC-and-retry attempt.
+  EXPECT_GE(ts->manager().stats().exhaust_retries, 1u);
+  EXPECT_GE(ts->manager().stats().node_limit_hits, 1u);
+  EXPECT_EQ(ts->manager().audit_check(), "");
+
+  ts->manager().clear_budget();
+  const core::CheckOutcome known = ck.check("EF max");
+  EXPECT_EQ(known.verdict, core::Verdict::kTrue);
+  EXPECT_EQ(ts->manager().audit_check(), "");
+}
+
+TEST(Exhaustion, DeadlineKillsCheckThenRerunSucceeds) {
+  auto ts = models::counter({.width = 4});
+  core::Checker ck(*ts);
+
+  guard::ResourceBudget tiny;
+  tiny.deadline_ms = 1;
+  ts->manager().install_budget(tiny);
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+
+  const core::CheckOutcome unknown = ck.check("EF max");
+  EXPECT_EQ(unknown.verdict, core::Verdict::kUnknown);
+  ASSERT_TRUE(unknown.exhausted.has_value());
+  EXPECT_EQ(*unknown.exhausted, guard::Resource::kTime);
+  EXPECT_EQ(ts->manager().audit_check(), "");
+
+  ts->manager().clear_budget();
+  EXPECT_EQ(ck.check("EF max").verdict, core::Verdict::kTrue);
+}
+
+TEST(Exhaustion, ExplainerReturnsUnknownInsteadOfThrowing) {
+  auto ts = models::counter({.width = 6});
+  core::Checker ck(*ts);
+  core::Explainer explainer(ck);
+
+  guard::ResourceBudget tiny;
+  tiny.max_fixpoint_iterations = 2;
+  ts->manager().install_budget(tiny);
+  const core::CheckOutcome unknown = explainer.check("AG EF zero");
+  EXPECT_EQ(unknown.verdict, core::Verdict::kUnknown);
+  EXPECT_EQ(ts->manager().audit_check(), "");
+
+  ts->manager().clear_budget();
+  const core::CheckOutcome known = explainer.check("AG EF zero");
+  EXPECT_EQ(known.verdict, core::Verdict::kTrue);
+}
+
+// A budget abort mid-witness salvages the path prefix built so far; the
+// prefix is independently certifiable and the construction succeeds after
+// the budget is raised.
+TEST(Exhaustion, PartialWitnessPrefixIsSalvagedAndCertifiable) {
+  auto ts = models::counter({.width = 3});
+  core::Checker ck(*ts);
+  core::WitnessGenerator generator(ck);
+  // Precompute the fair-EG rings unbudgeted; only the lasso construction
+  // (whose cycle closure needs an 8-step EU fixpoint) runs restricted.
+  const core::FairEG info = ck.eg_with_rings(ts->manager().one());
+
+  guard::ResourceBudget tiny;
+  tiny.max_fixpoint_iterations = 1;
+  ts->manager().install_budget(tiny);
+  EXPECT_THROW((void)generator.eg(info, ts->manager().one(), ts->init()),
+               guard::ResourceExhausted);
+  EXPECT_EQ(ts->manager().audit_check(), "");
+
+  const std::optional<core::Trace> partial = generator.take_partial();
+  ASSERT_TRUE(partial.has_value());
+  EXPECT_FALSE(partial->prefix.empty());
+  EXPECT_TRUE(partial->cycle.empty());
+  // take_partial consumes: a second read is empty.
+  EXPECT_FALSE(generator.take_partial().has_value());
+
+  const certify::TraceCertifier certifier(*ts);
+  const certify::Certificate cert =
+      certifier.certify_prefix(*partial, ts->manager().one());
+  EXPECT_TRUE(cert.ok()) << cert.to_string();
+
+  ts->manager().clear_budget();
+  const core::Trace lasso =
+      generator.eg(info, ts->manager().one(), ts->init());
+  EXPECT_TRUE(lasso.is_lasso());
+}
+
+TEST(Exhaustion, StarCheckerReturnsUnknownThenRerunSucceeds) {
+  auto ts = models::counter({.width = 5});
+  core::Checker ck(*ts);
+  ctlstar::StarChecker star(ck);
+
+  guard::ResourceBudget tiny;
+  tiny.max_fixpoint_iterations = 2;
+  ts->manager().install_budget(tiny);
+  const core::CheckOutcome unknown = star.check(ctl::parse("E (G F zero)"));
+  EXPECT_EQ(unknown.verdict, core::Verdict::kUnknown);
+  ASSERT_TRUE(unknown.exhausted.has_value());
+  EXPECT_EQ(*unknown.exhausted, guard::Resource::kIterations);
+  EXPECT_EQ(ts->manager().audit_check(), "");
+
+  ts->manager().clear_budget();
+  const core::CheckOutcome known = star.check(ctl::parse("E (G F zero)"));
+  EXPECT_EQ(known.verdict, core::Verdict::kTrue);
+  ASSERT_TRUE(known.trace.has_value());
+  EXPECT_FALSE(known.trace_is_partial);
+  EXPECT_TRUE(known.trace->is_lasso());
+}
+
+TEST(Exhaustion, InvariantBfsReturnsUnknownThenRerunFindsCounterexample) {
+  auto ts = models::counter({.width = 5});  // max is 31 layers from init
+  core::Checker ck(*ts);
+  const bdd::Bdd invariant = !ck.resolve_atom("max");
+
+  guard::ResourceBudget tiny;
+  tiny.max_fixpoint_iterations = 3;
+  ts->manager().install_budget(tiny);
+  const core::InvariantResult unknown = core::check_invariant(ck, invariant);
+  EXPECT_EQ(unknown.verdict, core::Verdict::kUnknown);
+  EXPECT_FALSE(unknown.holds);
+  EXPECT_FALSE(unknown.counterexample.has_value());
+  EXPECT_FALSE(unknown.unknown_reason.empty());
+  EXPECT_EQ(ts->manager().audit_check(), "");
+
+  ts->manager().clear_budget();
+  const core::InvariantResult refuted = core::check_invariant(ck, invariant);
+  EXPECT_EQ(refuted.verdict, core::Verdict::kFalse);
+  EXPECT_FALSE(refuted.holds);
+  ASSERT_TRUE(refuted.counterexample.has_value());
+  EXPECT_EQ(refuted.depth, 31u);  // shortest path to the violation
+}
+
+// The ambient ScopedBudget reaches the private product manager inside
+// check_containment; exhaustion comes back as a kUnknown verdict, and the
+// same query outside the scope finds the real counterexample.
+TEST(Exhaustion, ContainmentExhaustsViaAmbientBudgetThenRerunSucceeds) {
+  // sys accepts all words over {a, b}; spec wants infinitely many a's.
+  automata::StreettAutomaton sys(2, 2, 0);
+  sys.add_transition(0, 0, 0);
+  sys.add_transition(0, 1, 1);
+  sys.add_transition(1, 0, 0);
+  sys.add_transition(1, 1, 1);
+  automata::StreettAutomaton spec = sys;
+  spec.add_pair({}, {0});
+
+  {
+    guard::ResourceBudget tiny;
+    tiny.max_fixpoint_iterations = 1;
+    const guard::ScopedBudget scope(tiny);
+    const automata::ContainmentResult result =
+        automata::check_containment(sys, spec);
+    EXPECT_EQ(result.verdict, core::Verdict::kUnknown);
+    EXPECT_FALSE(result.contained);
+    EXPECT_FALSE(result.counterexample.has_value());
+    EXPECT_FALSE(result.unknown_reason.empty());
+  }
+
+  // Outside the scope the product manager is unbudgeted again.
+  const automata::ContainmentResult result =
+      automata::check_containment(sys, spec);
+  EXPECT_EQ(result.verdict, core::Verdict::kFalse);
+  EXPECT_FALSE(result.contained);
+  ASSERT_TRUE(result.counterexample.has_value());
+}
+
+}  // namespace
+}  // namespace symcex

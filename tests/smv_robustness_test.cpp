@@ -1,0 +1,140 @@
+// Robustness corpus for the SMV front end: truncated, garbage, deeply
+// nested, duplicate-declaration and overflowing inputs must produce a
+// typed SmvError with a usable line number -- never an abort, a hang, a
+// stack overflow, or undefined behaviour.
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "smv/smv.hpp"
+
+namespace symcex::smv {
+namespace {
+
+/// Compile must fail with SmvError (and only SmvError) carrying a
+/// positive line number.
+void expect_smv_error(const std::string& source, const char* label) {
+  try {
+    (void)compile(source);
+    FAIL() << label << ": expected SmvError, but compile succeeded";
+  } catch (const SmvError& e) {
+    EXPECT_GE(e.line(), 1u) << label;
+    EXPECT_NE(std::string(e.what()).find("line"), std::string::npos) << label;
+  } catch (const std::exception& e) {
+    FAIL() << label << ": wrong exception type: " << e.what();
+  }
+}
+
+TEST(SmvRobustness, EmptyAndTruncatedInputs) {
+  expect_smv_error("", "empty");
+  expect_smv_error("   \n\n  -- only a comment\n", "comment-only");
+  expect_smv_error("MODULE", "module-without-name");
+  expect_smv_error("MODULE main\nVAR\n  x : boolean", "missing-semicolon");
+  expect_smv_error("MODULE main\nVAR\n  x :", "truncated-type");
+  expect_smv_error("MODULE main\nASSIGN\n  init(x) :=", "truncated-assign");
+  expect_smv_error("MODULE main\nVAR x : {a, b", "unclosed-enum");
+  expect_smv_error("MODULE main\nVAR x : 0..", "unclosed-range");
+  expect_smv_error("MODULE main\nVAR x : boolean;\nSPEC AG (x", "unclosed-paren");
+  expect_smv_error("MODULE main\nVAR x : boolean;\nSPEC E [ x U", "truncated-until");
+  expect_smv_error("MODULE main\nVAR x : boolean;\nINIT case x : ", "truncated-case");
+}
+
+TEST(SmvRobustness, GarbageInputs) {
+  expect_smv_error("\x01\x02\x7f\x01garbage\x02", "binary-junk");
+  expect_smv_error("@#$%^&", "symbol-soup");
+  expect_smv_error("MODULE main\nVAR x : boolean;\nINIT `x;", "backtick");
+  expect_smv_error("MODULE main\nVAR x : boolean;\nINIT x.;", "stray-dot");
+  expect_smv_error("lorem ipsum dolor sit amet", "prose");
+  expect_smv_error("MODULE main\nFOO BAR;", "unknown-section");
+  expect_smv_error("MODULE main\nVAR x : boolean;\nSPEC ;", "empty-spec");
+}
+
+TEST(SmvRobustness, DeeplyNestedExpressionsHitTheDepthGuard) {
+  // 50k parens would smash the stack without the parser's depth limit;
+  // with it, the error is a typed SmvError on the right line.
+  const std::string deep_parens = "MODULE main\nVAR x : boolean;\nINIT " +
+                                  std::string(50'000, '(') + "x" +
+                                  std::string(50'000, ')') + ";";
+  expect_smv_error(deep_parens, "deep-parens");
+
+  const std::string deep_nots = "MODULE main\nVAR x : boolean;\nINIT " +
+                                std::string(50'000, '!') + "x;";
+  expect_smv_error(deep_nots, "deep-nots");
+
+  std::string deep_temporal = "MODULE main\nVAR x : boolean;\nSPEC ";
+  for (int i = 0; i < 50'000; ++i) deep_temporal += "AG ";
+  deep_temporal += "x;";
+  expect_smv_error(deep_temporal, "deep-temporal");
+
+  std::string deep_neg = "MODULE main\nVAR x : 0..3;\nINIT x = ";
+  deep_neg += std::string(50'000, '-');
+  deep_neg += "1;";
+  expect_smv_error(deep_neg, "deep-negation");
+}
+
+TEST(SmvRobustness, ModeratelyNestedExpressionsStillParse) {
+  // The guard must not reject reasonable nesting.
+  const std::string nested = "MODULE main\nVAR x : boolean;\nINIT " +
+                             std::string(100, '(') + "x" +
+                             std::string(100, ')') + ";";
+  EXPECT_NO_THROW((void)compile(nested));
+  const std::string nots =
+      "MODULE main\nVAR x : boolean;\nINIT " + std::string(100, '!') + "x;";
+  EXPECT_NO_THROW((void)compile(nots));
+}
+
+TEST(SmvRobustness, DuplicateDeclarations) {
+  expect_smv_error(
+      "MODULE main\nVAR x : boolean;\nMODULE main\nVAR y : boolean;",
+      "duplicate-module");
+  expect_smv_error("MODULE main\nVAR x : boolean; x : boolean;",
+                   "duplicate-variable");
+  expect_smv_error("MODULE main\nVAR x : {a, b, a};", "duplicate-enum-value");
+  expect_smv_error(
+      "MODULE main\nVAR x : boolean;\nASSIGN\n"
+      "  init(x) := TRUE;\n  init(x) := FALSE;",
+      "duplicate-assignment");
+}
+
+TEST(SmvRobustness, IntegerOverflowIsATypedError) {
+  expect_smv_error("MODULE main\nVAR x : 0..99999999999999999999999999;",
+                   "range-bound-overflow");
+  expect_smv_error(
+      "MODULE main\nVAR x : 0..3;\nINIT x = 99999999999999999999999999;",
+      "literal-overflow");
+  // Line information survives: the overflow is on line 3.
+  try {
+    (void)compile(
+        "MODULE main\nVAR x : 0..3;\nINIT x = 99999999999999999999999999;");
+    FAIL() << "expected SmvError";
+  } catch (const SmvError& e) {
+    EXPECT_EQ(e.line(), 3u);
+  }
+}
+
+TEST(SmvRobustness, OversizedRangesAreRejected) {
+  expect_smv_error("MODULE main\nVAR x : 0..9999999;", "huge-range");
+  expect_smv_error("MODULE main\nVAR x : 5..2;", "inverted-range");
+}
+
+TEST(SmvRobustness, ValidModelStillCompilesAfterAllThat) {
+  const SmvModel model = compile(
+      "MODULE main\n"
+      "VAR\n"
+      "  st : {idle, busy};\n"
+      "  x  : boolean;\n"
+      "ASSIGN\n"
+      "  init(st) := idle;\n"
+      "  next(st) := case\n"
+      "      st = idle & x : busy;\n"
+      "      TRUE          : idle;\n"
+      "    esac;\n"
+      "FAIRNESS st = idle\n"
+      "SPEC AG (st = busy -> EF st = idle)\n");
+  EXPECT_EQ(model.specs().size(), 1u);
+  EXPECT_EQ(model.variable_names().size(), 2u);
+}
+
+}  // namespace
+}  // namespace symcex
