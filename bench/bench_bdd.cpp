@@ -94,6 +94,52 @@ void BM_ApplyWarmCache(benchmark::State& state) {
 }
 BENCHMARK(BM_ApplyWarmCache)->Arg(32);
 
+/// The Coudert-Madre generalized-cofactor kernels (DESIGN.md §9): how
+/// much simplifying a random function against a random care set costs,
+/// and how much it shrinks the DAG (restrict never enlarges the support;
+/// constrain may).
+void BM_Restrict(benchmark::State& state) {
+  const auto vars = static_cast<std::uint32_t>(state.range(0));
+  bdd::Manager m(vars);
+  std::mt19937 rng(5);
+  std::vector<bdd::Bdd> fs, cs;
+  for (int i = 0; i < 32; ++i) {
+    fs.push_back(random_function(m, rng, vars, 24));
+    bdd::Bdd c = random_function(m, rng, vars, 8);
+    cs.push_back(c.is_false() ? m.one() : c);
+  }
+  std::size_t i = 0;
+  double in_nodes = 0;
+  double out_nodes = 0;
+  for (auto _ : state) {
+    const bdd::Bdd r = fs[i % 32].minimize(cs[(i + 13) % 32]);
+    benchmark::DoNotOptimize(r);
+    in_nodes += static_cast<double>(fs[i % 32].dag_size());
+    out_nodes += static_cast<double>(r.dag_size());
+    ++i;
+  }
+  if (in_nodes > 0) state.counters["shrink_ratio"] = out_nodes / in_nodes;
+}
+BENCHMARK(BM_Restrict)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_Constrain(benchmark::State& state) {
+  const auto vars = static_cast<std::uint32_t>(state.range(0));
+  bdd::Manager m(vars);
+  std::mt19937 rng(5);
+  std::vector<bdd::Bdd> fs, cs;
+  for (int i = 0; i < 32; ++i) {
+    fs.push_back(random_function(m, rng, vars, 24));
+    bdd::Bdd c = random_function(m, rng, vars, 8);
+    cs.push_back(c.is_false() ? m.one() : c);
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fs[i % 32].constrain(cs[(i + 13) % 32]));
+    ++i;
+  }
+}
+BENCHMARK(BM_Constrain)->Arg(16)->Arg(32)->Arg(64);
+
 /// The ablation pair: image computation as one fused AndExists versus
 /// explicitly building the conjunction and quantifying afterwards, on the
 /// dining-philosophers relation (wide support, nontrivial conjunction).

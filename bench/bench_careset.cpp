@@ -1,0 +1,156 @@
+// What the don't-care-aware evaluation core buys (DESIGN.md §9): the same
+// end-to-end checks with care-set simplification on vs off, reporting wall
+// time plus the substrate counters the ablation story turns on -- total
+// top-level apply calls, AndExists calls, restrict calls, computed-cache
+// probes -- and, under --stats_json, the per-sweep peak DAG gauges
+// (image.peak_dag / preimage.peak_dag) grouped under a careset_on/ or
+// careset_off/ phase per configuration.
+//
+//   * the Seitz arbiter liveness check AG (r1 -> AF a1): a genuinely
+//     partitioned gate-level relation where reachable is a strict subset
+//     of the valuation space, so the restricted clusters are smaller and
+//     the backward fixpoints stay inside the reachable zone;
+//   * a modular counter with a large unreachable tail (modulus 16 on a
+//     10-bit datapath): checking EF max exactly walks ~2^width - modulus
+//     preimage steps through the unreachable region, while the care-set
+//     run discovers pre(max) & C = 0 after a couple of iterations --
+//     the paper-folklore case where don't-cares collapse a fixpoint.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hpp"
+
+#include "bdd/bdd.hpp"
+#include "core/checker.hpp"
+#include "diag/metrics.hpp"
+#include "models/models.hpp"
+#include "ts/transition_system.hpp"
+
+namespace {
+
+using namespace symcex;
+
+std::uint64_t total_applies(const bdd::ManagerStats& s) {
+  std::uint64_t total = 0;
+  for (std::size_t op = 0; op < bdd::kNumApplyOps; ++op) {
+    total += s.apply_calls[op];
+  }
+  return total;
+}
+
+using Builder = std::function<std::unique_ptr<ts::TransitionSystem>()>;
+
+/// One fresh model + checker per iteration (cache-cold, comparable across
+/// modes).  Reachability is precomputed in BOTH modes before the counter
+/// snapshot, so the deltas compare the query itself (plus, in care mode,
+/// the restricted-copy construction -- the honest overhead of the
+/// machinery) rather than the shared one-time reachability cost.
+void run_check(benchmark::State& state, const Builder& build,
+               const char* spec, bool care) {
+  const char* phase_name = care ? "careset_on" : "careset_off";
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto m = build();
+    (void)m->reachable();
+    core::Checker checker(*m, {.image_method = ts::ImageMethod::kPartitioned,
+                               .use_care_set = care});
+    const auto& ms = m->manager().stats();
+    const std::uint64_t applies0 = total_applies(ms);
+    const std::uint64_t andex0 = ms.apply(bdd::ApplyOp::kAndExists);
+    const std::uint64_t restrict0 = ms.apply(bdd::ApplyOp::kRestrictMin) +
+                                    ms.apply(bdd::ApplyOp::kConstrain);
+    const std::uint64_t lookups0 = ms.cache_lookups;
+    state.ResumeTiming();
+
+    const diag::PhaseScope phase(phase_name);
+    const core::CheckOutcome outcome = checker.check(spec);
+    benchmark::DoNotOptimize(outcome);
+
+    state.PauseTiming();
+    const double applies =
+        static_cast<double>(total_applies(ms) - applies0);
+    const double andex =
+        static_cast<double>(ms.apply(bdd::ApplyOp::kAndExists) - andex0);
+    const double restricts =
+        static_cast<double>(ms.apply(bdd::ApplyOp::kRestrictMin) +
+                            ms.apply(bdd::ApplyOp::kConstrain) - restrict0);
+    const double lookups = static_cast<double>(ms.cache_lookups - lookups0);
+    state.counters["apply_calls"] = applies;
+    state.counters["and_exists"] = andex;
+    state.counters["restricts"] = restricts;
+    state.counters["cache_lookups"] = lookups;
+    auto& r = diag::Registry::global();
+    r.gauge_set("apply_calls", applies);
+    r.gauge_set("and_exists", andex);
+    r.gauge_set("cache_lookups", lookups);
+    state.ResumeTiming();
+  }
+}
+
+Builder arbiter() {
+  return [] { return models::seitz_arbiter(); };
+}
+
+Builder mod_counter() {
+  return [] { return models::counter({.width = 10, .modulus = 16}); };
+}
+
+void BM_ArbiterLivenessExact(benchmark::State& state) {
+  run_check(state, arbiter(), "AG (r1 -> AF a1)", false);
+}
+BENCHMARK(BM_ArbiterLivenessExact);
+
+void BM_ArbiterLivenessCare(benchmark::State& state) {
+  run_check(state, arbiter(), "AG (r1 -> AF a1)", true);
+}
+BENCHMARK(BM_ArbiterLivenessCare);
+
+void BM_ModCounterUnreachableTargetExact(benchmark::State& state) {
+  run_check(state, mod_counter(), "EF max", false);
+}
+BENCHMARK(BM_ModCounterUnreachableTargetExact);
+
+void BM_ModCounterUnreachableTargetCare(benchmark::State& state) {
+  run_check(state, mod_counter(), "EF max", true);
+}
+BENCHMARK(BM_ModCounterUnreachableTargetCare);
+
+/// The sweep in isolation: one clustered image of the full reachable set,
+/// raw relation vs care-restricted clusters.  Under --stats_json the
+/// image.peak_dag gauge lands under the per-mode phase.
+void image_sweep(benchmark::State& state, bool care) {
+  auto m = models::seitz_arbiter();
+  const bdd::Bdd reach = m->reachable();
+  core::EvalContext context(*m, ts::ImageMethod::kPartitioned, care);
+  const diag::PhaseScope phase(care ? "careset_on" : "careset_off");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(context.image(reach));
+  }
+  state.counters["clusters"] =
+      static_cast<double>(m->trans_clusters().size());
+}
+
+void BM_ArbiterImageSweepExact(benchmark::State& state) {
+  image_sweep(state, false);
+}
+BENCHMARK(BM_ArbiterImageSweepExact);
+
+void BM_ArbiterImageSweepCare(benchmark::State& state) {
+  image_sweep(state, true);
+}
+BENCHMARK(BM_ArbiterImageSweepCare);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  symcex::bench::StatsExport stats(&argc, argv);
+  ::benchmark::Initialize(&argc, argv);
+  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  return 0;
+}

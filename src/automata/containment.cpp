@@ -105,6 +105,11 @@ class ProductCtx {
                           const core::WitnessOptions& options) {
     const diag::PhaseScope phase("containment");
     const bool diag_on = diag::enabled();
+    // The product structure gets its own Checker and hence its own
+    // core::EvalContext: under SYMCEX_CARE_SET=1 the care set is the
+    // product's reachable states (computed for product_states below
+    // anyway), so the fragment fixpoints run care-simplified sweeps while
+    // certify_result still replays the lasso on the exact automata.
     core::Checker checker(m_);
     ctlstar::StarChecker star(checker, options);
     ContainmentResult out;

@@ -106,6 +106,15 @@ struct CertifierOptions {
 /// Semantic trace certifier bound to one finalized TransitionSystem.  The
 /// enumeration for the cross-engine pass is built lazily and cached, so a
 /// long-lived certifier amortises it across traces.
+///
+/// Independence note: the certifier binds to the raw TransitionSystem and
+/// decides transition membership by evaluating every trans_parts()
+/// conjunct on concrete assignments.  It is deliberately NOT routed
+/// through core::EvalContext, so the care-set-restricted relation copies
+/// and merged clusters used by the generators (SYMCEX_CARE_SET=1,
+/// SYMCEX_CLUSTER_THRESHOLD) can never leak into certification: a trace
+/// produced from a simplified sweep is always re-checked against the
+/// unsimplified relation.
 class TraceCertifier {
  public:
   explicit TraceCertifier(const ts::TransitionSystem& ts,

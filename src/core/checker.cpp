@@ -8,7 +8,9 @@
 namespace symcex::core {
 
 Checker::Checker(ts::TransitionSystem& ts, const CheckOptions& options)
-    : ts_(ts), options_(options) {
+    : ts_(ts),
+      options_(options),
+      context_(ts, options.image_method, options.use_care_set) {
   if (!ts.finalized()) {
     throw std::invalid_argument("Checker: transition system not finalized");
   }
@@ -143,7 +145,7 @@ CheckOutcome Checker::check(const std::string& formula_text) {
 
 bdd::Bdd Checker::ex_raw(const bdd::Bdd& f) {
   ++stats_.preimage_calls;
-  return ts_.preimage(f, options_.image_method);
+  return context_.preimage(f);
 }
 
 bdd::Bdd Checker::eu_raw(const bdd::Bdd& f, const bdd::Bdd& g) {
@@ -218,23 +220,10 @@ bdd::Bdd Checker::eu(const bdd::Bdd& f, const bdd::Bdd& g) {
 
 bdd::Bdd Checker::eg(const bdd::Bdd& f) {
   if (ts_.fairness().empty()) return eg_raw(f);
-  // Plain fair-EG evaluation; the rings are recomputed on demand by
-  // eg_with_rings when a witness is requested.
-  const bool diag_on = diag::enabled();
-  bdd::Bdd z = f;
-  bdd::FixpointGuard fixpoint_guard(ts_.manager(), "fair_eg");
-  for (;;) {
-    fixpoint_guard.tick();
-    ++stats_.eg_iterations;
-    if (diag_on) diag::Registry::global().add("fixpoint.eg_iterations");
-    bdd::Bdd znew = f;
-    for (const auto& h : ts_.fairness()) {
-      znew &= ex_raw(eu_raw(f, z & h));
-      if (znew.is_false()) break;
-    }
-    if (znew == z) return z;
-    z = znew;
-  }
+  // Route through eg_with_rings: the FairEG memo then serves a later
+  // witness request (check-then-explain) from this one fair-EG fixpoint
+  // instead of recomputing it.
+  return eg_with_rings(f).states;
 }
 
 FairEG Checker::eg_with_rings(const bdd::Bdd& f) {
@@ -248,6 +237,15 @@ FairEG Checker::eg_with_rings(const bdd::Bdd& f,
     // Section 6's construction needs at least one ring family; with no
     // fairness the single constraint "true" makes EG f the special case.
     constraints.push_back(ts_.manager().one());
+  }
+  for (const FairEGEntry& entry : faireg_memo_) {
+    if (entry.f == f && entry.constraints == constraints) {
+      ++stats_.faireg_reuse_hits;
+      if (diag::enabled()) {
+        diag::Registry::global().add("checker.faireg_reuse");
+      }
+      return entry.result;
+    }
   }
   // Outer greatest fixpoint.
   const bool diag_on = diag::enabled();
@@ -274,6 +272,7 @@ FairEG Checker::eg_with_rings(const bdd::Bdd& f,
   for (const auto& h : out.constraints) {
     out.rings.push_back(eu_rings(f, z & h));
   }
+  faireg_memo_.push_back(FairEGEntry{f, out.constraints, out});
   return out;
 }
 

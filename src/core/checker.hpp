@@ -28,6 +28,7 @@
 #include "bdd/bdd.hpp"
 #include "ctl/formula.hpp"
 #include "guard/guard.hpp"
+#include "core/eval_context.hpp"
 #include "core/trace.hpp"
 #include "ts/transition_system.hpp"
 
@@ -39,6 +40,9 @@ struct CheckOptions {
   ts::ImageMethod image_method = ts::ImageMethod::kMonolithic;
   /// Memoise states() results per formula node (identity-based).
   bool memoize = true;
+  /// Simplify fixpoint operands and sweeps against the reachable care set
+  /// (see EvalContext / DESIGN.md §9).  Unset reads SYMCEX_CARE_SET.
+  std::optional<bool> use_care_set;
 };
 
 /// Counters the checker accumulates (reset with reset_stats()).
@@ -46,6 +50,7 @@ struct CheckStats {
   std::size_t preimage_calls = 0;   ///< EX evaluations
   std::size_t eu_iterations = 0;    ///< least-fixpoint steps
   std::size_t eg_iterations = 0;    ///< greatest-fixpoint steps (outer, for fair EG)
+  std::size_t faireg_reuse_hits = 0;  ///< FairEG results served from the memo
 };
 
 /// Result of CheckFairEG with the approximation sequences saved
@@ -103,6 +108,9 @@ class Checker {
 
   [[nodiscard]] ts::TransitionSystem& system() { return ts_; }
   [[nodiscard]] const CheckOptions& options() const { return options_; }
+  /// The evaluation context every image/preimage of this checker (and of
+  /// the witness/explain/CTL* layers on top of it) goes through.
+  [[nodiscard]] EvalContext& context() { return context_; }
 
   // -- formula level ---------------------------------------------------------
 
@@ -174,11 +182,20 @@ class Checker {
  private:
   ts::TransitionSystem& ts_;
   CheckOptions options_;
+  EvalContext context_;
   CheckStats stats_;
   bdd::Bdd fair_;  // cache of fair_states()
   // Keyed on shared_ptr (not raw pointer): holding the node alive keeps
   // its address from being recycled by a later formula's allocation.
   std::unordered_map<ctl::Formula::Ptr, bdd::Bdd> memo_;
+  // FairEG memo keyed on (formula BDD, constraint set): check-then-explain
+  // and fair_states()/fair-true witnesses share one fair-EG computation.
+  struct FairEGEntry {
+    bdd::Bdd f;
+    std::vector<bdd::Bdd> constraints;
+    FairEG result;
+  };
+  std::vector<FairEGEntry> faireg_memo_;
 };
 
 }  // namespace symcex::core

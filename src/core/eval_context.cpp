@@ -1,0 +1,107 @@
+#include "core/eval_context.hpp"
+
+#include <cassert>
+
+#include "diag/metrics.hpp"
+#include "guard/guard.hpp"
+
+namespace symcex::core {
+
+EvalContext::EvalContext(ts::TransitionSystem& ts, ts::ImageMethod method,
+                         std::optional<bool> use_care_set)
+    : ts_(ts),
+      method_(method),
+      care_requested_(
+          use_care_set.value_or(diag::env_flag("SYMCEX_CARE_SET"))) {}
+
+bool EvalContext::care_active() {
+  ensure_care();
+  return care_on_;
+}
+
+const bdd::Bdd& EvalContext::care_set() {
+  ensure_care();
+  if (care_on_) return care_.set;
+  if (trivial_care_.is_null()) trivial_care_ = ts_.manager().one();
+  return trivial_care_;
+}
+
+void EvalContext::ensure_care() {
+  if (care_ready_) return;
+  if (!care_requested_) {
+    care_ready_ = true;
+    return;
+  }
+  const bool diag_on = diag::enabled();
+  auto& r = diag::Registry::global();
+  try {
+    const diag::PhaseScope phase("care");
+    const bdd::Bdd& reach = ts_.reachable();
+    if (reach.is_false() || reach == ts_.manager().one()) {
+      // Empty: no state is reachable, nothing to evaluate on (and minimize
+      // requires a satisfiable care set).  Full: restriction is the
+      // identity; skip the per-sweep overhead entirely.
+      care_ready_ = true;
+      if (diag_on) r.add("care.trivial");
+      return;
+    }
+    ts::DontCare dc;
+    dc.set = reach;
+    std::size_t before = 0;
+    std::size_t after = 0;
+    // Build only the relation copy the configured sweep method reads.
+    // minimize() agrees with the exact conjunct on every current-rail
+    // assignment inside the care set; each restricted copy is kept only
+    // when it is actually smaller.  Support never grows, so the
+    // early-quantification schedules stay valid for the restricted copies.
+    if (method_ == ts::ImageMethod::kMonolithic) {
+      before = ts_.trans().dag_size();
+      const bdd::Bdd reduced = ts_.trans().minimize(reach);
+      dc.trans = reduced.dag_size() <= before ? reduced : ts_.trans();
+      after = dc.trans.dag_size();
+    } else {
+      for (const auto& c : ts_.trans_clusters()) {
+        const bdd::Bdd reduced = c.minimize(reach);
+        before += c.dag_size();
+        dc.clusters.push_back(reduced.dag_size() <= c.dag_size() ? reduced
+                                                                 : c);
+        after += dc.clusters.back().dag_size();
+      }
+    }
+    care_ = std::move(dc);
+    care_on_ = true;
+    care_ready_ = true;
+    if (diag_on) {
+      r.add("care.activated");
+      r.gauge_set("care.set_dag", static_cast<double>(reach.dag_size()));
+      r.gauge_set("care.rel_dag_exact", static_cast<double>(before));
+      r.gauge_set("care.rel_dag_restricted", static_cast<double>(after));
+    }
+  } catch (const guard::ResourceExhausted&) {
+    // The reachability fixpoint lost the budget race.  Care is purely an
+    // optimisation, so swallow the abort and run exact sweeps; the
+    // manager already unwound audit-clean, and ts_.reachable() left its
+    // cache empty, so a later retry under a raised budget still works.
+    care_ready_ = true;
+    if (diag_on) r.add("care.fallback_exhausted");
+  }
+}
+
+bdd::Bdd EvalContext::image(const bdd::Bdd& states) {
+  ensure_care();
+  if (!care_on_) return ts_.image(states, method_);
+#ifndef NDEBUG
+  // The exactness of the restricted image rests on the operand being
+  // reachable (see ts::DontCare); every core call site satisfies this.
+  assert(states.implies(care_.set) &&
+         "EvalContext::image: operand leaves the care set");
+#endif
+  return ts_.image(states, method_, &care_);
+}
+
+bdd::Bdd EvalContext::preimage(const bdd::Bdd& states) {
+  ensure_care();
+  return ts_.preimage(states, method_, care_on_ ? &care_ : nullptr);
+}
+
+}  // namespace symcex::core

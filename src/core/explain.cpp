@@ -140,8 +140,8 @@ bool Explainer::show_true(const Formula::Ptr& f, Trace& trace) {
       const bdd::Bdd good =
           checker_.states_enf(f->lhs()) & checker_.fair_states();
       auto& ts = checker_.system();
-      const bdd::Bdd t = ts.pick_state(
-          ts.image(here, checker_.options().image_method) & good);
+      const bdd::Bdd t =
+          ts.pick_state(checker_.context().image(here) & good);
       trace.prefix.push_back(t);
       obligations_.push_back(t);  // the chosen successor must survive cuts
       return show_true(f->lhs(), trace);

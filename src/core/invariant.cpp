@@ -9,7 +9,7 @@ namespace symcex::core {
 InvariantResult check_invariant(Checker& checker, const bdd::Bdd& invariant,
                                 bool extend_to_fair) {
   auto& ts = checker.system();
-  const auto method = checker.options().image_method;
+  EvalContext& context = checker.context();
 
   InvariantResult out;
   try {
@@ -28,7 +28,7 @@ InvariantResult check_invariant(Checker& checker, const bdd::Bdd& invariant,
         layers.push_back(frontier);
         std::vector<bdd::Bdd> path{ts.pick_state(frontier & bad)};
         for (std::size_t k = layers.size() - 1; k-- > 0;) {
-          const bdd::Bdd pre = ts.preimage(path.back(), method);
+          const bdd::Bdd pre = context.preimage(path.back());
           path.push_back(ts.pick_state(pre & layers[k]));
         }
         Trace trace;
@@ -51,7 +51,7 @@ InvariantResult check_invariant(Checker& checker, const bdd::Bdd& invariant,
         return out;
       }
       layers.push_back(frontier);
-      const bdd::Bdd next = ts.image(frontier, method);
+      const bdd::Bdd next = context.image(frontier);
       frontier = next - reached;
       reached |= frontier;
       ++out.depth;

@@ -1,6 +1,7 @@
 #include "core/witness.hpp"
 
 #include <algorithm>
+#include <cassert>
 #include <cmath>
 #include <cstdint>
 #include <limits>
@@ -15,13 +16,30 @@ namespace {
 
 constexpr std::size_t kNoRing = std::numeric_limits<std::size_t>::max();
 
-/// Smallest i with set & rings[i] nonempty, or kNoRing.
+/// Smallest i with set & rings[i] nonempty, or kNoRing.  The onion rings
+/// are an increasing chain (Q_i <= Q_{i+1} by construction), so the
+/// predicate "set intersects rings[i]" is monotone in i and the first hit
+/// is found by binary search in O(log n) intersection tests instead of n.
 std::size_t min_ring_index(const std::vector<bdd::Bdd>& rings,
                            const bdd::Bdd& set) {
-  for (std::size_t i = 0; i < rings.size(); ++i) {
-    if (set.intersects(rings[i])) return i;
+#ifndef NDEBUG
+  for (std::size_t i = 1; i < rings.size(); ++i) {
+    assert(rings[i - 1].implies(rings[i]) &&
+           "min_ring_index: ring chain is not monotone");
   }
-  return kNoRing;
+#endif
+  if (rings.empty() || !set.intersects(rings.back())) return kNoRing;
+  std::size_t lo = 0;
+  std::size_t hi = rings.size() - 1;  // invariant: set intersects rings[hi]
+  while (lo < hi) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    if (set.intersects(rings[mid])) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  return hi;
 }
 
 }  // namespace
@@ -46,8 +64,7 @@ std::vector<bdd::Bdd> WitnessGenerator::walk_rings(
   }
   std::vector<bdd::Bdd> path{ts.pick_state(from & rings[i])};
   while (i > 0) {
-    const bdd::Bdd succ =
-        ts.image(path.back(), checker_.options().image_method);
+    const bdd::Bdd succ = checker_.context().image(path.back());
     // The minimal hit is guaranteed to be < i: a state whose minimal ring
     // index is i > 0 satisfies f & EX Q_{i-1}.
     const std::size_t j = min_ring_index(rings, succ);
@@ -90,7 +107,6 @@ Trace WitnessGenerator::eg_lasso(const FairEG& info, const bdd::Bdd& f_states,
   const diag::PhaseScope phase("witness/eg");
   const bool diag_on = diag::enabled();
   auto& ts = checker_.system();
-  const auto method = checker_.options().image_method;
   const bdd::Bdd& z = info.states;
   const std::size_t num_constraints = info.constraints.size();
 
@@ -160,7 +176,7 @@ Trace WitnessGenerator::eg_lasso(const FairEG& info, const bdd::Bdd& f_states,
       while (num_pending > 0 && !restart) {
         // Choose the fairness constraint reached soonest: test the saved
         // rings Q_i^h for increasing i until one contains a successor.
-        const bdd::Bdd succ = ts.image(current, method);
+        const bdd::Bdd succ = checker_.context().image(current);
         std::size_t best_k = num_constraints;
         std::size_t best_i = kNoRing;
         for (std::size_t i = 0; best_k == num_constraints; ++i) {
@@ -184,7 +200,7 @@ Trace WitnessGenerator::eg_lasso(const FairEG& info, const bdd::Bdd& f_states,
         // Step into ring best_i, then descend best_i-1, ..., 0.
         append(ts.pick_state(succ & info.rings[best_k][best_i]));
         for (std::size_t j = best_i; j-- > 0 && !restart;) {
-          const bdd::Bdd step = ts.image(current, method);
+          const bdd::Bdd step = checker_.context().image(current);
           append(ts.pick_state(step & info.rings[best_k][j]));
         }
         if (!restart && pending[best_k]) {
@@ -212,7 +228,7 @@ Trace WitnessGenerator::eg_lasso(const FairEG& info, const bdd::Bdd& f_states,
       const diag::PhaseScope closure_phase("closure");
       const std::vector<bdd::Bdd> closure_rings =
           checker_.eu_rings(f_states, t);
-      const bdd::Bdd succ = ts.image(s_prime, method);
+      const bdd::Bdd succ = checker_.context().image(s_prime);
       if (succ.intersects(closure_rings.back())) {
         std::vector<bdd::Bdd> closure = walk_rings(closure_rings, succ);
         // Cycle: t ... s' followed by the closing path minus its final t.
@@ -297,8 +313,7 @@ Trace WitnessGenerator::ex(const bdd::Bdd& f, const bdd::Bdd& from) {
         "fairness constraints");
   }
   const bdd::Bdd s = ts.pick_state(can);
-  const bdd::Bdd t = ts.pick_state(
-      ts.image(s, checker_.options().image_method) & good);
+  const bdd::Bdd t = ts.pick_state(checker_.context().image(s) & good);
   Trace out;
   out.prefix = {s, t};
   if (options_.extend_to_fair_path) extend_to_fair(out);

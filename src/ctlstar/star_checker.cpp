@@ -169,6 +169,10 @@ bdd::Bdd StarChecker::fixpoint(const std::vector<Conjunct>& cs) {
   if (diag_on) diag::Registry::global().add("fixpoint.evaluations");
   auto& mgr = base_.system().manager();
   // gfp Y [ AND_j ( (q_j & EX Y) | EX E[Y U (p_j & Y)] ) ], then EF of it.
+  // Every ex_raw/eu_raw below routes through base_'s shared EvalContext,
+  // so under SYMCEX_CARE_SET=1 the Emerson-Lei iterates run care-set
+  // simplified sweeps transparently (DESIGN.md §9: the care-mode preimage
+  // is canonical, so the gfp converges to the same BDD across methods).
   bdd::Bdd y = mgr.one();
   bdd::FixpointGuard fixpoint_guard(mgr, "el_gfp");
   for (;;) {

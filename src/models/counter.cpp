@@ -8,6 +8,11 @@ std::unique_ptr<ts::TransitionSystem> counter(const CounterOptions& options) {
   if (options.width == 0 || options.width > 62) {
     throw std::invalid_argument("counter: width must be in 1..62");
   }
+  if (options.modulus != 0 &&
+      (options.modulus < 2 ||
+       options.modulus > (std::uint64_t{1} << options.width))) {
+    throw std::invalid_argument("counter: modulus must be in 2..2^width");
+  }
   auto m = std::make_unique<ts::TransitionSystem>();
   const std::vector<ts::VarId> bits = m->add_vector("b", options.width);
   ts::VarId ticked = 0;
@@ -24,6 +29,20 @@ std::unique_ptr<ts::TransitionSystem> counter(const CounterOptions& options) {
   for (const ts::VarId b : bits) {
     count &= !(m->next(b) ^ (m->cur(b) ^ carry));
     carry &= m->cur(b);
+  }
+  if (options.modulus != 0) {
+    // Wrap at modulus-1: from that value go to 0; every other value
+    // (including the unreachable ones >= modulus) increments as usual, so
+    // the relation stays total and values outside 0..modulus-1 form a
+    // genuine don't-care region.
+    bdd::Bdd at_wrap = m->manager().one();
+    bdd::Bdd to_zero = m->manager().one();
+    for (std::uint32_t i = 0; i < options.width; ++i) {
+      const bool bit = ((options.modulus - 1) >> i) & 1;
+      at_wrap &= bit ? m->cur(bits[i]) : !m->cur(bits[i]);
+      to_zero &= !m->next(bits[i]);
+    }
+    count = (at_wrap & to_zero) | (!at_wrap & count);
   }
   if (options.stutter) {
     bdd::Bdd hold = m->manager().one();
@@ -43,6 +62,16 @@ std::unique_ptr<ts::TransitionSystem> counter(const CounterOptions& options) {
   }
   m->add_label("zero", zero);
   m->add_label("max", max);
+  if (options.modulus != 0) {
+    // The last reachable value (modulus-1); "max" stays the all-ones
+    // pattern, which is unreachable when modulus < 2^width.
+    bdd::Bdd wrap = m->manager().one();
+    for (std::uint32_t i = 0; i < options.width; ++i) {
+      const bool bit = ((options.modulus - 1) >> i) & 1;
+      wrap &= bit ? m->cur(bits[i]) : !m->cur(bits[i]);
+    }
+    m->add_label("wrap", wrap);
+  }
   if (options.stutter) m->add_label("ticked", m->cur(ticked));
   m->finalize();
   return m;

@@ -52,6 +52,12 @@ struct CounterOptions {
   /// and, if fair_ticking, a fairness constraint GF ticked.
   bool stutter = false;
   bool fair_ticking = false;
+  /// Count 0..modulus-1 and wrap there instead of at 2^width (0 = full
+  /// range).  With modulus < 2^width the values modulus..2^width-1 still
+  /// step (plain increment) but are unreachable from zero, giving the
+  /// counter a proper reachable care set -- the shape the don't-care
+  /// simplification benchmarks need.  Must be >= 2 when nonzero.
+  std::uint64_t modulus = 0;
 };
 
 /// n-bit wrap-around counter.  Labels: zero, max, ticked (if stutter).

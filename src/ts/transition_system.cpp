@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
 #include <map>
 #include <ostream>
 #include <stdexcept>
@@ -11,11 +12,32 @@
 
 namespace symcex::ts {
 
+namespace {
+
+/// SYMCEX_CLUSTER_THRESHOLD, or 4096 DAG nodes when unset/unparseable.
+std::size_t default_cluster_threshold() {
+  constexpr std::size_t kDefault = 4096;
+  const char* env = std::getenv("SYMCEX_CLUSTER_THRESHOLD");
+  if (env == nullptr || *env == '\0') return kDefault;
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(env, &end, 10);
+  if (end == env || *end != '\0') return kDefault;
+  return static_cast<std::size_t>(value);
+}
+
+}  // namespace
+
 TransitionSystem::TransitionSystem() : TransitionSystem(bdd::ManagerOptions{}) {}
 
 TransitionSystem::TransitionSystem(const bdd::ManagerOptions& options)
-    : mgr_(std::make_unique<bdd::Manager>(0, options)) {
+    : mgr_(std::make_unique<bdd::Manager>(0, options)),
+      cluster_threshold_(default_cluster_threshold()) {
   init_ = mgr_->one();
+}
+
+void TransitionSystem::set_cluster_threshold(std::size_t max_dag_nodes) {
+  require_open("set_cluster_threshold");
+  cluster_threshold_ = max_dag_nodes;
 }
 
 void TransitionSystem::require_open(const char* what) const {
@@ -134,7 +156,36 @@ void TransitionSystem::finalize() {
   }
   cur_cube_ = mgr_->cube(curs);
   next_cube_ = mgr_->cube(nexts);
+
+  // Merge the conjunctive partition into size-thresholded clusters: walk
+  // the parts in insertion order and conjoin into the current cluster while
+  // the product stays under the threshold.  Insertion order is kept (model
+  // builders emit related conjuncts adjacently), so the early-quantification
+  // schedule recomputed over clusters stays as tight as the per-part one.
+  clusters_.clear();
+  std::size_t max_cluster_dag = 0;
+  for (const auto& p : parts_) {
+    if (!clusters_.empty() && cluster_threshold_ > 0) {
+      const bdd::Bdd merged = clusters_.back() & p;
+      if (merged.dag_size() <= cluster_threshold_) {
+        clusters_.back() = merged;
+        max_cluster_dag = std::max(max_cluster_dag, merged.dag_size());
+        continue;
+      }
+    }
+    clusters_.push_back(p);
+    max_cluster_dag = std::max(max_cluster_dag, p.dag_size());
+  }
   build_schedules();
+  if (diag::enabled()) {
+    auto& r = diag::Registry::global();
+    r.gauge_set_in("ts", "parts", static_cast<double>(parts_.size()));
+    r.gauge_set_in("ts", "clusters", static_cast<double>(clusters_.size()));
+    r.gauge_set_in("ts", "cluster_threshold",
+                   static_cast<double>(cluster_threshold_));
+    r.gauge_set_in("ts", "cluster_max_dag",
+                   static_cast<double>(max_cluster_dag));
+  }
   if (bdd::audits_enabled()) audit();
 }
 
@@ -206,6 +257,18 @@ std::string TransitionSystem::audit_check() const {
     if (product != trans()) {
       return fail("cached monolithic relation disagrees with the partition");
     }
+    bdd::Bdd cluster_product = mgr_->one();
+    for (const auto& c : clusters_) cluster_product &= c;
+    if (cluster_product != product) {
+      return fail("clustered relation disagrees with the raw partition");
+    }
+  }
+  if (clusters_.empty() || clusters_.size() > parts_.size()) {
+    return fail("cluster count out of range");
+  }
+  if (img_sched_.size() != clusters_.size() ||
+      pre_sched_.size() != clusters_.size()) {
+    return fail("quantification schedule length disagrees with the clusters");
   }
   if (!init_.is_null()) {
     // Probe with the initial states and their one-step image (not the full
@@ -226,10 +289,11 @@ std::string TransitionSystem::audit_check() const {
 }
 
 void TransitionSystem::build_schedules() {
-  // For the image sweep over parts_ in order, current-rail variable x may be
-  // quantified at step i if no part j > i depends on it.  Variables in no
-  // part at all go into the step-0 cube.  Symmetric for preimage/next rail.
-  const std::size_t k = parts_.size();
+  // For the image sweep over clusters_ in order, current-rail variable x may
+  // be quantified at step i if no cluster j > i depends on it.  Variables in
+  // no cluster at all go into the step-0 cube.  Symmetric for preimage/next
+  // rail.
+  const std::size_t k = clusters_.size();
   std::vector<std::vector<std::uint32_t>> img_vars(k);
   std::vector<std::vector<std::uint32_t>> pre_vars(k);
   std::vector<std::size_t> last_cur(2 * names_.size(), 0);
@@ -237,7 +301,7 @@ void TransitionSystem::build_schedules() {
   std::vector<bool> seen_cur(2 * names_.size(), false);
   std::vector<bool> seen_next(2 * names_.size(), false);
   for (std::size_t i = 0; i < k; ++i) {
-    for (const std::uint32_t x : parts_[i].support()) {
+    for (const std::uint32_t x : clusters_[i].support()) {
       if (x % 2 == 0) {
         last_cur[x] = i;
         seen_cur[x] = true;
@@ -297,13 +361,19 @@ bdd::Bdd TransitionSystem::unprime(const bdd::Bdd& f) const {
   return mgr_->rename(f, next_to_cur_);
 }
 
-bdd::Bdd TransitionSystem::image(const bdd::Bdd& states,
-                                 ImageMethod method) const {
+bdd::Bdd TransitionSystem::image(const bdd::Bdd& states, ImageMethod method,
+                                 const DontCare* care) const {
   require_finalized("image");
   const bool diag_on = diag::enabled();
   diag::TimerScope timer("image.time");
-  if (method == ImageMethod::kMonolithic || parts_.size() == 1) {
-    const bdd::Bdd product = mgr_->and_exists(states, trans(), cur_cube_);
+  // The image operand is never simplified: a care-restricted relation can
+  // invent successors only for non-care current states, which the contract
+  // (states implies care->set) excludes, but junk inside the operand would
+  // land inside the care set.  See DESIGN.md §9.
+  if (method == ImageMethod::kMonolithic ||
+      (clusters_.size() == 1 && care == nullptr)) {
+    const bdd::Bdd& rel = care != nullptr ? care->trans : trans();
+    const bdd::Bdd product = mgr_->and_exists(states, rel, cur_cube_);
     if (diag_on) {
       auto& r = diag::Registry::global();
       r.add("image.calls");
@@ -313,30 +383,51 @@ bdd::Bdd TransitionSystem::image(const bdd::Bdd& states,
     }
     return unprime(product);
   }
+  const std::vector<bdd::Bdd>& rels =
+      care != nullptr ? care->clusters : clusters_;
   bdd::Bdd acc = states;
   std::size_t peak = 0;
-  for (std::size_t i = 0; i < parts_.size(); ++i) {
-    acc = mgr_->and_exists(acc, parts_[i], img_sched_[i]);
+  for (std::size_t i = 0; i < rels.size(); ++i) {
+    acc = mgr_->and_exists(acc, rels[i], img_sched_[i]);
     if (diag_on) peak = std::max(peak, acc.dag_size());
   }
   if (diag_on) {
     auto& r = diag::Registry::global();
     r.add("image.calls");
     r.add("image.partitioned.calls");
-    r.add("image.sweep_steps", parts_.size());
+    r.add("image.sweep_steps", rels.size());
     r.gauge_set("image.peak_dag", static_cast<double>(peak));
   }
   return unprime(acc);
 }
 
-bdd::Bdd TransitionSystem::preimage(const bdd::Bdd& states,
-                                    ImageMethod method) const {
+bdd::Bdd TransitionSystem::preimage(const bdd::Bdd& states, ImageMethod method,
+                                    const DontCare* care) const {
   require_finalized("preimage");
   const bool diag_on = diag::enabled();
   diag::TimerScope timer("preimage.time");
-  const bdd::Bdd primed = prime(states);
-  if (method == ImageMethod::kMonolithic || parts_.size() == 1) {
-    const bdd::Bdd result = mgr_->and_exists(primed, trans(), next_cube_);
+  bdd::Bdd operand = states;
+  if (care != nullptr) {
+    // Fixpoint operands only ever matter on the care set: minimize shrinks
+    // the BDD while preserving the function there (kept only when it
+    // actually shrinks -- Coudert-Madre restrict can occasionally grow).
+    const bdd::Bdd reduced = operand.minimize(care->set);
+    if (diag_on) {
+      auto& r = diag::Registry::global();
+      r.add("preimage.care.calls");
+      if (reduced.dag_size() < operand.dag_size()) {
+        r.add("preimage.care.operand_nodes_saved",
+              operand.dag_size() - reduced.dag_size());
+      }
+    }
+    if (reduced.dag_size() < operand.dag_size()) operand = reduced;
+  }
+  const bdd::Bdd primed = prime(operand);
+  if (method == ImageMethod::kMonolithic ||
+      (clusters_.size() == 1 && care == nullptr)) {
+    const bdd::Bdd& rel = care != nullptr ? care->trans : trans();
+    bdd::Bdd result = mgr_->and_exists(primed, rel, next_cube_);
+    if (care != nullptr) result &= care->set;
     if (diag_on) {
       auto& r = diag::Registry::global();
       r.add("preimage.calls");
@@ -346,17 +437,28 @@ bdd::Bdd TransitionSystem::preimage(const bdd::Bdd& states,
     }
     return result;
   }
+  const std::vector<bdd::Bdd>& rels =
+      care != nullptr ? care->clusters : clusters_;
   bdd::Bdd acc = primed;
   std::size_t peak = 0;
-  for (std::size_t i = 0; i < parts_.size(); ++i) {
-    acc = mgr_->and_exists(acc, parts_[i], pre_sched_[i]);
+  for (std::size_t i = 0; i < rels.size(); ++i) {
+    acc = mgr_->and_exists(acc, rels[i], pre_sched_[i]);
+    if (care != nullptr && i + 1 < rels.size()) {
+      // The preimage sweep quantifies next-rail variables only, so the
+      // accumulator's current-rail rows outside the care set are dead
+      // weight; minimizing them is sound (the final & care->set pins the
+      // semantics) and keeps intermediate products small.
+      const bdd::Bdd reduced = acc.minimize(care->set);
+      if (reduced.dag_size() < acc.dag_size()) acc = reduced;
+    }
     if (diag_on) peak = std::max(peak, acc.dag_size());
   }
+  if (care != nullptr) acc &= care->set;
   if (diag_on) {
     auto& r = diag::Registry::global();
     r.add("preimage.calls");
     r.add("preimage.partitioned.calls");
-    r.add("preimage.sweep_steps", parts_.size());
+    r.add("preimage.sweep_steps", rels.size());
     r.gauge_set("preimage.peak_dag", static_cast<double>(peak));
   }
   return acc;

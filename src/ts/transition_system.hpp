@@ -36,7 +36,28 @@ using VarId = std::uint32_t;
 /// How image/preimage combine a partitioned transition relation.
 enum class ImageMethod {
   kMonolithic,   ///< conjoin all parts once, one fused AndExists
-  kPartitioned,  ///< sweep over parts with early quantification
+  kPartitioned,  ///< sweep over size-thresholded clusters, early quantification
+};
+
+/// Don't-care bundle for care-set-simplified sweeps (built lazily by
+/// core::EvalContext from the reachable states; see DESIGN.md §9).
+///
+/// `set` is a satisfiable state predicate over the current rail that is
+/// closed under the transition relation (successors of care states are
+/// care states -- true of the reachable set by construction).  The
+/// relation copies are the monolithic relation / the clusters minimized
+/// against `set`: they agree with the exact relation on every row whose
+/// current-rail assignment satisfies `set`, which makes
+///
+///   * image(S, care)     exact whenever S implies `set`, and
+///   * preimage(Z, care)  equal to  (EX Z) & set  for arbitrary Z.
+///
+/// Only the copy matching the sweep method in use needs to be populated.
+struct DontCare {
+  bdd::Bdd set;     ///< care set over the current rail (satisfiable)
+  bdd::Bdd trans;   ///< trans().minimize(set); null unless monolithic sweeps
+  std::vector<bdd::Bdd> clusters;  ///< per-cluster minimize; empty unless
+                                   ///< partitioned sweeps
 };
 
 /// A symbolic Kripke structure.  Typical construction:
@@ -73,6 +94,14 @@ class TransitionSystem {
   void set_init(const bdd::Bdd& init);
   /// Add one conjunct of the transition relation (over both rails).
   void add_trans(const bdd::Bdd& part);
+  /// Cap (in DAG nodes) under which finalize() greedily merges adjacent
+  /// partition conjuncts into one cluster; 0 disables merging (one cluster
+  /// per part).  Defaults to the SYMCEX_CLUSTER_THRESHOLD environment
+  /// variable, or 4096 when unset.  Must be called before finalize().
+  void set_cluster_threshold(std::size_t max_dag_nodes);
+  [[nodiscard]] std::size_t cluster_threshold() const {
+    return cluster_threshold_;
+  }
   /// Add a fairness constraint: a state set that must recur infinitely
   /// often along fair paths (Section 5 of the paper).
   void add_fairness(const bdd::Bdd& constraint);
@@ -109,9 +138,16 @@ class TransitionSystem {
   [[nodiscard]] const bdd::Bdd& init() const { return init_; }
   /// The monolithic transition relation (conjoined lazily and cached).
   [[nodiscard]] const bdd::Bdd& trans() const;
-  /// The conjunctive partition as supplied by add_trans.
+  /// The conjunctive partition as supplied by add_trans.  This is the
+  /// ground truth the certifier and the structural audit check against;
+  /// clustering and care-set simplification never rewrite it.
   [[nodiscard]] const std::vector<bdd::Bdd>& trans_parts() const {
     return parts_;
+  }
+  /// The size-thresholded clusters finalize() merged the parts into (in
+  /// part order); the partitioned sweeps iterate over these.
+  [[nodiscard]] const std::vector<bdd::Bdd>& trans_clusters() const {
+    return clusters_;
   }
   [[nodiscard]] const std::vector<bdd::Bdd>& fairness() const {
     return fairness_;
@@ -125,14 +161,19 @@ class TransitionSystem {
   // -- symbolic stepping -----------------------------------------------------
 
   /// Successors of `states`:  { t | exists s in states. R(s, t) }.
-  [[nodiscard]] bdd::Bdd image(
-      const bdd::Bdd& states,
-      ImageMethod method = ImageMethod::kMonolithic) const;
+  /// With `care`, the sweep runs over the care-restricted relation; the
+  /// result is exact provided `states` implies the care set (see DontCare).
+  [[nodiscard]] bdd::Bdd image(const bdd::Bdd& states,
+                               ImageMethod method = ImageMethod::kMonolithic,
+                               const DontCare* care = nullptr) const;
   /// Predecessors of `states` -- the EX operator:
   /// { s | exists t in states. R(s, t) }.
+  /// With `care`, the operand and the intermediate sweep results are
+  /// minimized against the care set and the result is intersected with it,
+  /// so the returned set is exactly  (EX states) & care->set.
   [[nodiscard]] bdd::Bdd preimage(
-      const bdd::Bdd& states,
-      ImageMethod method = ImageMethod::kMonolithic) const;
+      const bdd::Bdd& states, ImageMethod method = ImageMethod::kMonolithic,
+      const DontCare* care = nullptr) const;
 
   /// All states reachable from init (least fixpoint; cached).
   [[nodiscard]] const bdd::Bdd& reachable() const;
@@ -194,6 +235,8 @@ class TransitionSystem {
   std::unordered_map<std::string, VarId> by_name_;
   bdd::Bdd init_;
   std::vector<bdd::Bdd> parts_;
+  std::vector<bdd::Bdd> clusters_;  // parts_ greedily merged by finalize()
+  std::size_t cluster_threshold_;
   std::vector<bdd::Bdd> fairness_;
   std::unordered_map<std::string, bdd::Bdd> labels_;
   bool finalized_ = false;
@@ -203,9 +246,10 @@ class TransitionSystem {
   bdd::Bdd next_cube_;
   std::vector<std::uint32_t> cur_to_next_;  // BDD-var rename maps
   std::vector<std::uint32_t> next_to_cur_;
-  // Early-quantification schedule: for the image sweep, cube of current
-  // variables that may be quantified when conjoining part i (they appear
-  // in no later part); symmetrically for the preimage sweep on next vars.
+  // Early-quantification schedule over clusters_: for the image sweep,
+  // cube of current variables that may be quantified when conjoining
+  // cluster i (they appear in no later cluster); symmetrically for the
+  // preimage sweep on next vars.
   std::vector<bdd::Bdd> img_sched_;
   std::vector<bdd::Bdd> pre_sched_;
 

@@ -4,6 +4,8 @@
 // checker to the paper's definitions independently of the explicit-state
 // oracle.
 
+#include <algorithm>
+#include <cstdint>
 #include <random>
 
 #include <gtest/gtest.h>
@@ -134,6 +136,43 @@ TEST_P(LawsTest, FairEgIsAFixpointOfTheSection5Functional) {
     applied &= checker_->ex_raw(checker_->eu_raw(f, z & h));
   }
   EXPECT_EQ(z, applied);
+}
+
+TEST_P(LawsTest, ConstrainGeneralizedCofactorLaws) {
+  // The Coudert-Madre constrain contract:  f|c & c == f & c,  plus
+  // idempotence and the c = 1 identity (DESIGN.md §9).
+  auto& mgr = model_->manager();
+  for (int i = 0; i < 8; ++i) {
+    const bdd::Bdd f = pred();
+    bdd::Bdd c = pred();
+    if (c.is_false()) c = mgr.one();
+    const bdd::Bdd fc = f.constrain(c);
+    EXPECT_EQ(fc & c, f & c);
+    EXPECT_EQ(fc.constrain(c), fc);
+    EXPECT_EQ(f.constrain(mgr.one()), f);
+  }
+}
+
+TEST_P(LawsTest, RestrictAgreesOnTheCareSet) {
+  // restrict (minimize) may return any function agreeing with f on c, so
+  // the guaranteed laws are: agreement on c, support containment (restrict
+  // never enlarges the support -- the property constrain lacks), the c = 1
+  // identity, and idempotence.
+  auto& mgr = model_->manager();
+  for (int i = 0; i < 8; ++i) {
+    const bdd::Bdd f = pred();
+    bdd::Bdd c = pred();
+    if (c.is_false()) c = mgr.one();
+    const bdd::Bdd r = f.minimize(c);
+    EXPECT_EQ(r & c, f & c);
+    EXPECT_EQ(r.minimize(c), r);
+    EXPECT_EQ(f.minimize(mgr.one()), f);
+    const auto fs = f.support();
+    for (const std::uint32_t v : r.support()) {
+      EXPECT_TRUE(std::find(fs.begin(), fs.end(), v) != fs.end())
+          << "minimize enlarged the support with var " << v;
+    }
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, LawsTest, ::testing::Range(0, 15));
