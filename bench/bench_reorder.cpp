@@ -1,0 +1,152 @@
+// What dynamic variable reordering buys (DESIGN.md §10): sifting a
+// transition relation that was built under a deliberately bad
+// NON-INTERLEAVED order -- all current-rail variables declared before all
+// next-rail variables, the layout the ts:: layer exists to avoid -- and
+// reporting live nodes before/after, the reduction factor, the swap count
+// and the sift wall time.  Under --stats_json the same numbers land as
+// reorder/ gauges next to the manager's folded reorder_* counters.
+//
+//   * counter: x'_i <-> x_i ^ AND_{j<i} x_j (an n-bit increment).  Blocked,
+//     the conjoined relation must remember every current bit before the
+//     first next bit resolves: ~2^n nodes.  Interleaved it is linear.
+//   * shift arbiter: x'_i <-> x_{(i-1) mod n} (a rotating token).  Blocked
+//     it is again exponential; the good order pairs x_{i-1} with x'_i.
+//
+// Sifting runs ungrouped here (a raw manager, no rail pairs), measuring
+// the full headroom of the move space.
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hpp"
+
+#include "bdd/bdd.hpp"
+#include "diag/metrics.hpp"
+#include "order/order.hpp"
+
+namespace {
+
+using namespace symcex;
+
+/// Builds a relation over 2n variables laid out blocked: current bit i is
+/// BDD variable i, next bit i is BDD variable n + i.
+using RelationBuilder = std::function<bdd::Bdd(bdd::Manager&, std::uint32_t)>;
+
+bdd::Bdd counter_relation(bdd::Manager& m, std::uint32_t n) {
+  bdd::Bdd rel = m.one();
+  bdd::Bdd carry = m.one();  // AND of all lower current bits
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const bdd::Bdd cur = m.var(i);
+    const bdd::Bdd next = m.var(n + i);
+    rel &= !(next ^ (cur ^ carry));
+    carry &= cur;
+  }
+  return rel;
+}
+
+bdd::Bdd shift_relation(bdd::Manager& m, std::uint32_t n) {
+  bdd::Bdd rel = m.one();
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const bdd::Bdd src = m.var((i + n - 1) % n);
+    const bdd::Bdd next = m.var(n + i);
+    rel &= !(next ^ src);
+  }
+  return rel;
+}
+
+void run_sift(benchmark::State& state, const RelationBuilder& build,
+              const char* phase_name) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  std::size_t nodes_before = 0;
+  std::size_t nodes_after = 0;
+  std::size_t peak = 0;
+  std::size_t swaps = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto mgr = std::make_unique<bdd::Manager>(2 * n);
+    const bdd::Bdd rel = build(*mgr, n);
+    benchmark::DoNotOptimize(rel);
+    state.ResumeTiming();
+
+    const diag::PhaseScope phase(phase_name);
+    const order::SiftResult res = order::sift(*mgr);
+    benchmark::DoNotOptimize(res);
+
+    state.PauseTiming();
+    nodes_before = res.nodes_before;
+    nodes_after = res.nodes_after;
+    peak = mgr->stats().peak_nodes;
+    swaps = res.swaps;
+    state.ResumeTiming();
+  }
+  state.counters["nodes_before"] = static_cast<double>(nodes_before);
+  state.counters["nodes_after"] = static_cast<double>(nodes_after);
+  state.counters["peak_live_nodes"] = static_cast<double>(peak);
+  state.counters["swaps"] = static_cast<double>(swaps);
+  const double reduction =
+      nodes_after == 0 ? 0.0
+                       : static_cast<double>(nodes_before) /
+                             static_cast<double>(nodes_after);
+  state.counters["reduction"] = reduction;
+  auto& r = diag::Registry::global();
+  r.gauge_set("reorder.bench.nodes_before",
+              static_cast<double>(nodes_before));
+  r.gauge_set("reorder.bench.nodes_after", static_cast<double>(nodes_after));
+  r.gauge_set("reorder.bench.reduction", reduction);
+}
+
+void BM_SiftBlockedCounter(benchmark::State& state) {
+  run_sift(state, counter_relation, "sift_counter");
+}
+BENCHMARK(BM_SiftBlockedCounter)->Arg(8)->Arg(10);
+
+void BM_SiftBlockedShiftArbiter(benchmark::State& state) {
+  run_sift(state, shift_relation, "sift_arbiter");
+}
+BENCHMARK(BM_SiftBlockedShiftArbiter)->Arg(8)->Arg(10);
+
+/// The cheap polish pass on the same bad layout, for comparison.
+void run_window(benchmark::State& state, const RelationBuilder& build,
+                const char* phase_name) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  std::size_t nodes_before = 0;
+  std::size_t nodes_after = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto mgr = std::make_unique<bdd::Manager>(2 * n);
+    const bdd::Bdd rel = build(*mgr, n);
+    benchmark::DoNotOptimize(rel);
+    state.ResumeTiming();
+
+    const diag::PhaseScope phase(phase_name);
+    const order::SiftResult res = order::window_permute(*mgr, 3);
+    benchmark::DoNotOptimize(res);
+
+    state.PauseTiming();
+    nodes_before = res.nodes_before;
+    nodes_after = res.nodes_after;
+    state.ResumeTiming();
+  }
+  state.counters["nodes_before"] = static_cast<double>(nodes_before);
+  state.counters["nodes_after"] = static_cast<double>(nodes_after);
+}
+
+void BM_WindowBlockedCounter(benchmark::State& state) {
+  run_window(state, counter_relation, "window_counter");
+}
+BENCHMARK(BM_WindowBlockedCounter)->Arg(8)->Arg(10);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  symcex::bench::StatsExport stats(&argc, argv);
+  ::benchmark::Initialize(&argc, argv);
+  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  return 0;
+}

@@ -201,7 +201,7 @@ Bdd Bdd::restrict_var(std::uint32_t var, bool value) const {
   // The memo lives inside the kernel closure so an exhaustion retry
   // starts from a clean (post-GC) slate.
   return mgr_->run_apply(ApplyOp::kRestrictVar, [&] {
-    std::vector<std::uint32_t> memo;
+    std::unordered_map<std::uint32_t, std::uint32_t> memo;
     return mgr_->restrict_rec(idx_, var, value, memo);
   });
 }
@@ -250,9 +250,10 @@ double Bdd::sat_count(std::uint32_t num_vars) const {
   // ldexp is exact below the saturation point, so small counts keep their
   // integer-exact values.
   constexpr double kSaturated = std::numeric_limits<double>::max();
-  const auto mul_pow2 = [](double x, std::uint32_t k) {
+  const auto mul_pow2 = [](double x, std::int64_t k) {
     if (x == 0.0) return 0.0;
-    const double r = std::ldexp(x, static_cast<int>(std::min(k, 8192u)));
+    k = std::clamp<std::int64_t>(k, -8192, 8192);
+    const double r = std::ldexp(x, static_cast<int>(k));
     return std::isinf(r) ? kSaturated : r;
   };
   const auto sat_add = [](double a, double b) {
@@ -260,6 +261,11 @@ double Bdd::sat_count(std::uint32_t num_vars) const {
     return std::isinf(r) ? kSaturated : r;
   };
   // count(n) = number of assignments to variables strictly below n's level.
+  // The recursion walks LEVELS (order-independent: a function's count does
+  // not depend on the variable order), first over the manager's own
+  // variable universe; the result is rescaled to the requested `num_vars`
+  // universe at the end.
+  const auto mgr_vars = static_cast<std::uint32_t>(mgr_->num_vars_);
   std::unordered_map<std::uint32_t, double> memo;
   // Iterative post-order to avoid deep recursion on wide functions.
   struct Frame {
@@ -284,16 +290,21 @@ double Bdd::sat_count(std::uint32_t num_vars) const {
     }
     auto weight = [&](std::uint32_t child) {
       const std::uint32_t child_level =
-          mgr_->level(child) == Manager::kTermVar ? num_vars
+          mgr_->level(child) == Manager::kTermVar ? mgr_vars
                                                   : mgr_->level(child);
-      const std::uint32_t skipped = child_level - nd.var - 1;
+      const std::uint32_t skipped = child_level - mgr_->level(n) - 1;
       return mul_pow2(memo.at(child), skipped);
     };
     memo[n] = sat_add(weight(nd.lo), weight(nd.hi));
   }
   const std::uint32_t top_level =
-      mgr_->level(idx_) == Manager::kTermVar ? num_vars : mgr_->level(idx_);
-  return mul_pow2(memo.at(idx_), top_level);
+      mgr_->level(idx_) == Manager::kTermVar ? mgr_vars : mgr_->level(idx_);
+  const double over_mgr = mul_pow2(memo.at(idx_), top_level);
+  // Each requested variable beyond the manager's doubles the count; each
+  // manager variable beyond the requested universe (necessarily outside
+  // the support) halves it back out.  ldexp keeps both directions exact.
+  return mul_pow2(over_mgr, static_cast<std::int64_t>(num_vars) -
+                                static_cast<std::int64_t>(mgr_vars));
 }
 
 bool Bdd::eval(const std::vector<bool>& assignment) const {
@@ -327,7 +338,8 @@ std::string Bdd::cube_string(const std::vector<std::string>& names) const {
     if (nd.var < names.size() && !names[nd.var].empty()) {
       out += names[nd.var];
     } else {
-      out += "v" + std::to_string(nd.var);
+      out += 'v';
+      out += std::to_string(nd.var);
     }
     n = positive ? nd.hi : nd.lo;
   }
@@ -351,6 +363,10 @@ Manager::Manager(std::uint32_t num_vars, const ManagerOptions& options)
   buckets_.assign(1u << 12, kNil);
   cache_.assign(std::size_t{1} << options.cache_log2_size, CacheEntry{});
   for (std::uint32_t i = 0; i < num_vars; ++i) new_var();
+  // Dynamic reordering is opt-in: SYMCEX_REORDER arms the growth trigger
+  // for every manager; CheckOptions::reorder overrides per checker.
+  auto_reorder_ = diag::env_flag("SYMCEX_REORDER");
+  reorder_baseline_ = live_nodes_;
   // Every manager is born budgeted: the innermost guard::ScopedBudget, or
   // the environment-derived default (SYMCEX_NODE_LIMIT, ...).  This is how
   // budgets reach managers libraries construct privately, e.g. the product
@@ -387,6 +403,19 @@ void Manager::fold_stats_into_diag(diag::Registry& r) const {
   if (stats_.gc_runs > 0) {
     r.timer_add_in(kPhase, "gc_pause", stats_.gc_pause_ns, stats_.gc_runs);
   }
+  if (stats_.reorder_runs > 0 || stats_.reorder_swaps > 0) {
+    r.add_in(kPhase, "reorder_runs", stats_.reorder_runs);
+    r.add_in(kPhase, "reorder_swaps", stats_.reorder_swaps);
+    r.add_in(kPhase, "reorder_aborts", stats_.reorder_aborts);
+    r.gauge_set_in(kPhase, "reorder_nodes_before",
+                   static_cast<double>(stats_.reorder_nodes_before));
+    r.gauge_set_in(kPhase, "reorder_nodes_after",
+                   static_cast<double>(stats_.reorder_nodes_after));
+    if (stats_.reorder_runs > 0) {
+      r.timer_add_in(kPhase, "reorder_time", stats_.reorder_time_ns,
+                     stats_.reorder_runs);
+    }
+  }
   r.gauge_set_in(kPhase, "peak_nodes",
                  static_cast<double>(stats_.peak_nodes));
   for (std::size_t i = 0; i < kNumApplyOps; ++i) {
@@ -404,6 +433,11 @@ Bdd Manager::zero() { return wrap(kFalse); }
 std::uint32_t Manager::new_var() {
   const auto v = static_cast<std::uint32_t>(num_vars_);
   ++num_vars_;
+  // A fresh variable joins at the bottom of the order, in its own
+  // singleton reorder group; var2level stays a bijection by construction.
+  var2level_.push_back(v);
+  level2var_.push_back(v);
+  group_of_.push_back(v);
   return v;
 }
 
@@ -436,7 +470,11 @@ std::uint32_t Manager::mk(std::uint32_t var, std::uint32_t lo,
     }
   }
   ++stats_.unique_misses;
-  if (node_hard_limit_ != 0 && live_nodes_ >= node_hard_limit_) {
+  // The hard ceiling is suspended inside a reorder session: sifting must
+  // never throw out of mk (transient growth there is bounded by the
+  // sifter's own max-growth rule and rolled back).
+  if (node_hard_limit_ != 0 && live_nodes_ >= node_hard_limit_ &&
+      !order_session_) {
     // Hard ceiling: GC cannot run here (the caller's kernel holds raw
     // zero-ref indices on the C++ stack), so throw; run_apply reclaims
     // the aborted kernel's orphans, flushes the cache and retries once.
@@ -529,6 +567,7 @@ void Manager::handle_deref(std::uint32_t idx) {
 }
 
 void Manager::maybe_collect() {
+  maybe_auto_reorder();
   if (node_soft_limit_ != 0 && live_nodes_ >= node_soft_limit_ &&
       live_nodes_ > last_soft_gc_live_) {
     // Budget pressure: collect (and flush the computed cache) before the
@@ -547,11 +586,27 @@ void Manager::maybe_collect() {
   if (live_nodes_ > gc_threshold_ / 2) gc_threshold_ *= 2;
 }
 
+void Manager::maybe_auto_reorder() {
+  // Growth watermark: live nodes at least doubled since the last reorder
+  // (and cleared a small floor, so tiny managers never bother).  Only at
+  // top level -- maybe_collect runs before kernels, never inside them.
+  if (!auto_reorder_ || in_reorder_ || order_session_ || depth_ != 0 ||
+      num_vars_ < 2) {
+    return;
+  }
+  if (live_nodes_ < std::max(2 * reorder_baseline_, kReorderFloor)) return;
+  (void)reorder();
+}
+
+void Manager::flush_cache() {
+  for (auto& e : cache_) e.valid = false;
+  ++stats_.cache_clears;
+}
+
 void Manager::gc() {
   const std::uint64_t t0 = diag::monotonic_ns();
   // The computed cache may reference dead nodes: drop it wholesale.
-  for (auto& e : cache_) e.valid = false;
-  ++stats_.cache_clears;
+  flush_cache();
 
   std::vector<std::uint32_t> dead;
   for (std::uint32_t n = 2; n < nodes_.size(); ++n) {
@@ -566,11 +621,7 @@ void Manager::gc() {
     dead.pop_back();
     Node& nd = nodes_[n];
     if (nd.var == kFreeVar || nd.refs != 0) continue;  // resurrected / done
-    // Unlink from the unique table.
-    const std::size_t b = bucket_of(nd.var, nd.lo, nd.hi);
-    std::uint32_t* link = &buckets_[b];
-    while (*link != n) link = &nodes_[*link].next;
-    *link = nd.next;
+    unlink_node(n);
     // Release the children; newly-dead ones join the worklist.
     for (const std::uint32_t child : {nd.lo, nd.hi}) {
       deref(child);
@@ -593,6 +644,204 @@ void Manager::gc() {
   // Attribute the pause to whatever phase triggered the collection.
   diag::Registry::global().timer_add("gc_pause", pause_ns);
   if (audits_enabled()) audit();
+}
+
+// ---------------------------------------------------------------------------
+// Manager: dynamic variable ordering (primitives; policy lives in src/order)
+// ---------------------------------------------------------------------------
+
+std::uint32_t Manager::level_of_var(std::uint32_t v) const {
+  if (v >= num_vars_) {
+    throw std::invalid_argument("Manager::level_of_var: unknown var");
+  }
+  return var2level_[v];
+}
+
+std::uint32_t Manager::var_at_level(std::uint32_t lvl) const {
+  if (lvl >= num_vars_) {
+    throw std::invalid_argument("Manager::var_at_level: level out of range");
+  }
+  return level2var_[lvl];
+}
+
+void Manager::group_vars(const std::vector<std::uint32_t>& vars) {
+  if (vars.size() < 2) return;  // a singleton group is the default
+  for (const std::uint32_t v : vars) {
+    if (v >= num_vars_) {
+      throw std::invalid_argument("Manager::group_vars: unknown var");
+    }
+  }
+  // The members must already sit at adjacent levels in the given order:
+  // the group records "keep this block together", it does not move it.
+  for (std::size_t i = 1; i < vars.size(); ++i) {
+    if (var2level_[vars[i]] != var2level_[vars[i - 1]] + 1) {
+      throw std::invalid_argument(
+          "Manager::group_vars: members are not at adjacent levels");
+    }
+  }
+  const std::uint32_t gid = *std::min_element(vars.begin(), vars.end());
+  for (const std::uint32_t v : vars) group_of_[v] = gid;
+}
+
+std::uint32_t Manager::var_group(std::uint32_t v) const {
+  if (v >= num_vars_) {
+    throw std::invalid_argument("Manager::var_group: unknown var");
+  }
+  return group_of_[v];
+}
+
+std::vector<std::size_t> Manager::var_node_counts() const {
+  std::vector<std::size_t> counts(num_vars_, 0);
+  for (std::uint32_t n = 2; n < nodes_.size(); ++n) {
+    if (nodes_[n].var < num_vars_) ++counts[nodes_[n].var];
+  }
+  return counts;
+}
+
+void Manager::unlink_node(std::uint32_t n) {
+  const Node& nd = nodes_[n];
+  const std::size_t b = bucket_of(nd.var, nd.lo, nd.hi);
+  std::uint32_t* link = &buckets_[b];
+  while (*link != n) link = &nodes_[*link].next;
+  *link = nd.next;
+}
+
+void Manager::link_node(std::uint32_t n) {
+  Node& nd = nodes_[n];
+  const std::size_t b = bucket_of(nd.var, nd.lo, nd.hi);
+  nd.next = buckets_[b];
+  buckets_[b] = n;
+}
+
+void Manager::deref_reclaim(std::uint32_t idx) {
+  deref(idx);
+  std::vector<std::uint32_t> dead;
+  if (nodes_[idx].refs == 0 && nodes_[idx].var != kTermVar &&
+      nodes_[idx].var != kFreeVar) {
+    dead.push_back(idx);
+  }
+  while (!dead.empty()) {
+    const std::uint32_t n = dead.back();
+    dead.pop_back();
+    Node& nd = nodes_[n];
+    if (nd.var == kFreeVar || nd.refs != 0) continue;
+    unlink_node(n);
+    for (const std::uint32_t child : {nd.lo, nd.hi}) {
+      deref(child);
+      if (nodes_[child].refs == 0 && nodes_[child].var != kTermVar &&
+          nodes_[child].var != kFreeVar) {
+        dead.push_back(child);
+      }
+    }
+    nd.var = kFreeVar;
+    nd.next = kNil;
+    free_list_.push_back(n);
+    --live_nodes_;
+  }
+  stats_.live_nodes = live_nodes_;
+}
+
+void Manager::swap_levels(std::uint32_t lvl) {
+  if (lvl + 1 >= num_vars_) {
+    throw std::invalid_argument("Manager::swap_levels: level out of range");
+  }
+  if (depth_ != 0) {
+    throw std::logic_error("Manager::swap_levels: kernel active");
+  }
+  const std::uint32_t x = level2var_[lvl];      // moves down to lvl + 1
+  const std::uint32_t y = level2var_[lvl + 1];  // moves up to lvl
+  // Only nodes of the upper variable can change shape.  Collect and
+  // unlink them all before any rewrite: their triples are about to
+  // change, and the mk() calls below must not find a pending node.
+  std::vector<std::uint32_t> upper;
+  for (std::uint32_t n = 2; n < static_cast<std::uint32_t>(nodes_.size());
+       ++n) {
+    if (nodes_[n].var == x) upper.push_back(n);
+  }
+  for (const std::uint32_t n : upper) unlink_node(n);
+  // Flip the permutation first so mk() and level() see the new order.
+  displaced_vars_ -= static_cast<std::size_t>(var2level_[x] != x) +
+                     static_cast<std::size_t>(var2level_[y] != y);
+  std::swap(var2level_[x], var2level_[y]);
+  level2var_[lvl] = y;
+  level2var_[lvl + 1] = x;
+  displaced_vars_ += static_cast<std::size_t>(var2level_[x] != x) +
+                     static_cast<std::size_t>(var2level_[y] != y);
+  // Nodes with no y-child keep their triple (their cofactors do not
+  // mention y, so x?hi:lo is unchanged); just relink them.  The rest are
+  // rewritten in place -- same node index, so external handles and parent
+  // links stay valid -- as y-nodes over fresh x-children.
+  std::vector<std::uint32_t> rewrites;
+  for (const std::uint32_t n : upper) {
+    const Node& nd = nodes_[n];
+    if (nodes_[nd.lo].var == y || nodes_[nd.hi].var == y) {
+      rewrites.push_back(n);
+    } else {
+      link_node(n);
+    }
+  }
+  for (const std::uint32_t n : rewrites) {
+    const std::uint32_t f0 = nodes_[n].lo;
+    const std::uint32_t f1 = nodes_[n].hi;
+    // Cofactors w.r.t. y (copied out before mk() can reallocate nodes_).
+    const bool lo_on_y = nodes_[f0].var == y;
+    const bool hi_on_y = nodes_[f1].var == y;
+    const std::uint32_t f00 = lo_on_y ? nodes_[f0].lo : f0;
+    const std::uint32_t f01 = lo_on_y ? nodes_[f0].hi : f0;
+    const std::uint32_t f10 = hi_on_y ? nodes_[f1].lo : f1;
+    const std::uint32_t f11 = hi_on_y ? nodes_[f1].hi : f1;
+    // new_lo/new_hi cannot be equal (that would make the original node
+    // redundant), so the rewritten node is a genuine y-node.
+    const std::uint32_t new_lo = mk(x, f00, f10);
+    ref(new_lo);
+    const std::uint32_t new_hi = mk(x, f01, f11);
+    ref(new_hi);
+    Node& nd = nodes_[n];
+    nd.var = y;
+    nd.lo = new_lo;
+    nd.hi = new_hi;
+    link_node(n);
+    // The old children each lost a parent; reclaim any that died.  The
+    // recursion only descends below y's old level, so pending rewrites
+    // (all at x's old level, above) are never touched.
+    deref_reclaim(f0);
+    deref_reclaim(f1);
+  }
+  ++stats_.reorder_swaps;
+  if (!order_session_) {
+    // Standalone swap: self-bracket.  Cache entries keyed on recycled
+    // slots would be wrong, so flush; surviving entries would actually
+    // still be valid (node indices keep their functions), but one flush
+    // per explicit swap is cheap and simple.
+    flush_cache();
+    if (audits_enabled()) audit();
+  }
+}
+
+void Manager::reorder_session_begin() {
+  if (depth_ != 0) {
+    throw std::logic_error("Manager::reorder_session_begin: kernel active");
+  }
+  if (order_session_) {
+    throw std::logic_error("Manager::reorder_session_begin: already open");
+  }
+  // Collect first: swap_levels' eager reclamation relies on refcounts
+  // being exact (refs == 0 <=> dead), which only a full GC guarantees.
+  gc();
+  order_session_ = true;
+}
+
+void Manager::reorder_session_end(bool audit_after) {
+  if (!order_session_) return;
+  order_session_ = false;
+  // Recycled slots may still be cached under stale keys: drop everything.
+  flush_cache();
+  if (audit_after && audits_enabled()) audit();
+}
+
+void Manager::set_auto_reorder(bool on) {
+  auto_reorder_ = on;
+  if (on) reorder_baseline_ = std::max<std::size_t>(live_nodes_, 2);
 }
 
 void Manager::audit() const {
@@ -646,9 +895,10 @@ std::string Manager::audit_check() const {
       return fail("redundant node " + std::to_string(n) +
                   " (lo == hi survived mk)");
     }
-    // Ordering: the children's levels are strictly below (kTermVar is the
-    // numeric maximum, so terminals always satisfy this).
-    if (nd.var >= nodes_[nd.lo].var || nd.var >= nodes_[nd.hi].var) {
+    // Ordering: the children's LEVELS are strictly below under the current
+    // variable order (kTermVar is the numeric maximum, so terminals always
+    // satisfy this).
+    if (level(n) >= level(nd.lo) || level(n) >= level(nd.hi)) {
       return fail("variable order violated at node " + std::to_string(n));
     }
   }
@@ -656,6 +906,50 @@ std::string Manager::audit_check() const {
     return fail("live_nodes_ (" + std::to_string(live_nodes_) +
                 ") disagrees with a fresh count (" + std::to_string(live) +
                 ")");
+  }
+
+  // -- level maps ------------------------------------------------------------
+  // var2level / level2var must be inverse bijections over [0, num_vars),
+  // and every reorder group must occupy one contiguous run of levels.
+  if (var2level_.size() != num_vars_ || level2var_.size() != num_vars_ ||
+      group_of_.size() != num_vars_) {
+    return fail("level maps have the wrong size");
+  }
+  {
+    std::size_t displaced = 0;
+    for (std::uint32_t v = 0; v < num_vars_; ++v) {
+      if (var2level_[v] >= num_vars_) {
+        return fail("var2level[" + std::to_string(v) + "] out of range");
+      }
+      if (level2var_[var2level_[v]] != v) {
+        return fail("var2level / level2var are not inverse at variable " +
+                    std::to_string(v));
+      }
+      if (var2level_[v] != v) ++displaced;
+    }
+    if (displaced != displaced_vars_) {
+      return fail("displaced-variable count is stale");
+    }
+    std::unordered_map<std::uint32_t,
+                       std::pair<std::uint32_t, std::uint32_t>>
+        span;  // group id -> (min level, max level)
+    std::unordered_map<std::uint32_t, std::uint32_t> members;
+    for (std::uint32_t v = 0; v < num_vars_; ++v) {
+      const std::uint32_t g = group_of_[v];
+      const std::uint32_t l = var2level_[v];
+      auto [it, fresh] = span.try_emplace(g, std::make_pair(l, l));
+      if (!fresh) {
+        it->second.first = std::min(it->second.first, l);
+        it->second.second = std::max(it->second.second, l);
+      }
+      ++members[g];
+    }
+    for (const auto& [g, mm] : span) {
+      if (mm.second - mm.first + 1 != members[g]) {
+        return fail("reorder group " + std::to_string(g) +
+                    " does not occupy contiguous levels");
+      }
+    }
   }
 
   // -- free-list consistency ------------------------------------------------
@@ -880,6 +1174,7 @@ guard::BudgetSpent Manager::budget_spent() const {
   spent.elapsed_ms = elapsed_ms();
   spent.depth = depth_;
   spent.soft_gc_runs = stats_.soft_gc_runs;
+  spent.reorder_swaps = stats_.reorder_swaps;
   return spent;
 }
 
@@ -1032,13 +1327,14 @@ std::uint32_t Manager::and_rec(std::uint32_t f, std::uint32_t g) {
   std::uint32_t cached;
   if (cache_get(kOpAnd, f, g, 0, cached)) return cached;
   const std::uint32_t top = std::min(level(f), level(g));
+  const std::uint32_t tv = level2var_[top];  // variable at the top level
   const Node& nf = nodes_[f];
   const Node& ng = nodes_[g];
-  const std::uint32_t f0 = nf.var == top ? nf.lo : f;
-  const std::uint32_t f1 = nf.var == top ? nf.hi : f;
-  const std::uint32_t g0 = ng.var == top ? ng.lo : g;
-  const std::uint32_t g1 = ng.var == top ? ng.hi : g;
-  const std::uint32_t r = mk(top, and_rec(f0, g0), and_rec(f1, g1));
+  const std::uint32_t f0 = nf.var == tv ? nf.lo : f;
+  const std::uint32_t f1 = nf.var == tv ? nf.hi : f;
+  const std::uint32_t g0 = ng.var == tv ? ng.lo : g;
+  const std::uint32_t g1 = ng.var == tv ? ng.hi : g;
+  const std::uint32_t r = mk(tv, and_rec(f0, g0), and_rec(f1, g1));
   cache_put(kOpAnd, f, g, 0, r);
   return r;
 }
@@ -1052,13 +1348,14 @@ std::uint32_t Manager::or_rec(std::uint32_t f, std::uint32_t g) {
   std::uint32_t cached;
   if (cache_get(kOpOr, f, g, 0, cached)) return cached;
   const std::uint32_t top = std::min(level(f), level(g));
+  const std::uint32_t tv = level2var_[top];
   const Node& nf = nodes_[f];
   const Node& ng = nodes_[g];
-  const std::uint32_t f0 = nf.var == top ? nf.lo : f;
-  const std::uint32_t f1 = nf.var == top ? nf.hi : f;
-  const std::uint32_t g0 = ng.var == top ? ng.lo : g;
-  const std::uint32_t g1 = ng.var == top ? ng.hi : g;
-  const std::uint32_t r = mk(top, or_rec(f0, g0), or_rec(f1, g1));
+  const std::uint32_t f0 = nf.var == tv ? nf.lo : f;
+  const std::uint32_t f1 = nf.var == tv ? nf.hi : f;
+  const std::uint32_t g0 = ng.var == tv ? ng.lo : g;
+  const std::uint32_t g1 = ng.var == tv ? ng.hi : g;
+  const std::uint32_t r = mk(tv, or_rec(f0, g0), or_rec(f1, g1));
   cache_put(kOpOr, f, g, 0, r);
   return r;
 }
@@ -1074,13 +1371,14 @@ std::uint32_t Manager::xor_rec(std::uint32_t f, std::uint32_t g) {
   std::uint32_t cached;
   if (cache_get(kOpXor, f, g, 0, cached)) return cached;
   const std::uint32_t top = std::min(level(f), level(g));
+  const std::uint32_t tv = level2var_[top];
   const Node& nf = nodes_[f];
   const Node& ng = nodes_[g];
-  const std::uint32_t f0 = nf.var == top ? nf.lo : f;
-  const std::uint32_t f1 = nf.var == top ? nf.hi : f;
-  const std::uint32_t g0 = ng.var == top ? ng.lo : g;
-  const std::uint32_t g1 = ng.var == top ? ng.hi : g;
-  const std::uint32_t r = mk(top, xor_rec(f0, g0), xor_rec(f1, g1));
+  const std::uint32_t f0 = nf.var == tv ? nf.lo : f;
+  const std::uint32_t f1 = nf.var == tv ? nf.hi : f;
+  const std::uint32_t g0 = ng.var == tv ? ng.lo : g;
+  const std::uint32_t g1 = ng.var == tv ? ng.hi : g;
+  const std::uint32_t r = mk(tv, xor_rec(f0, g0), xor_rec(f1, g1));
   cache_put(kOpXor, f, g, 0, r);
   return r;
 }
@@ -1097,15 +1395,16 @@ std::uint32_t Manager::ite_rec(std::uint32_t f, std::uint32_t g,
   if (cache_get(kOpIte, f, g, h, cached)) return cached;
   const std::uint32_t top =
       std::min(level(f), std::min(level(g), level(h)));
+  const std::uint32_t tv = level2var_[top];
   auto cof = [&](std::uint32_t n, bool hi) {
     const Node& nd = nodes_[n];
-    if (nd.var != top) return n;
+    if (nd.var != tv) return n;
     return hi ? nd.hi : nd.lo;
   };
   const std::uint32_t r1 = ite_rec(cof(f, true), cof(g, true), cof(h, true));
   const std::uint32_t r0 =
       ite_rec(cof(f, false), cof(g, false), cof(h, false));
-  const std::uint32_t r = mk(top, r0, r1);
+  const std::uint32_t r = mk(tv, r0, r1);
   cache_put(kOpIte, f, g, h, r);
   return r;
 }
@@ -1120,7 +1419,7 @@ std::uint32_t Manager::exists_rec(std::uint32_t f, std::uint32_t cube) {
   if (cache_get(kOpExists, f, cube, 0, cached)) return cached;
   const Node& nf = nodes_[f];
   std::uint32_t r;
-  if (nf.var == level(cube)) {
+  if (level(f) == level(cube)) {
     const std::uint32_t rest = nodes_[cube].hi;
     const std::uint32_t r0 = exists_rec(nf.lo, rest);
     // Early termination: once one branch is true the disjunction is true.
@@ -1147,19 +1446,20 @@ std::uint32_t Manager::and_exists_rec(std::uint32_t f, std::uint32_t g,
   if (cube == kTrue) return and_rec(f, g);
   std::uint32_t cached;
   if (cache_get(kOpAndExists, f, g, cube, cached)) return cached;
+  const std::uint32_t tv = level2var_[top];
   const Node& nf = nodes_[f];
   const Node& ng = nodes_[g];
-  const std::uint32_t f0 = nf.var == top ? nf.lo : f;
-  const std::uint32_t f1 = nf.var == top ? nf.hi : f;
-  const std::uint32_t g0 = ng.var == top ? ng.lo : g;
-  const std::uint32_t g1 = ng.var == top ? ng.hi : g;
+  const std::uint32_t f0 = nf.var == tv ? nf.lo : f;
+  const std::uint32_t f1 = nf.var == tv ? nf.hi : f;
+  const std::uint32_t g0 = ng.var == tv ? ng.lo : g;
+  const std::uint32_t g1 = ng.var == tv ? ng.hi : g;
   std::uint32_t r;
   if (level(cube) == top) {
     const std::uint32_t rest = nodes_[cube].hi;
     const std::uint32_t r0 = and_exists_rec(f0, g0, rest);
     r = (r0 == kTrue) ? kTrue : or_rec(r0, and_exists_rec(f1, g1, rest));
   } else {
-    r = mk(top, and_exists_rec(f0, g0, cube), and_exists_rec(f1, g1, cube));
+    r = mk(tv, and_exists_rec(f0, g0, cube), and_exists_rec(f1, g1, cube));
   }
   cache_put(kOpAndExists, f, g, cube, r);
   return r;
@@ -1172,19 +1472,20 @@ std::uint32_t Manager::constrain_rec(std::uint32_t f, std::uint32_t c) {
   std::uint32_t cached;
   if (cache_get(kOpConstrain, f, c, 0, cached)) return cached;
   const std::uint32_t top = std::min(level(f), level(c));
+  const std::uint32_t tv = level2var_[top];
   const Node& nf = nodes_[f];
   const Node& nc = nodes_[c];
-  const std::uint32_t f0 = nf.var == top ? nf.lo : f;
-  const std::uint32_t f1 = nf.var == top ? nf.hi : f;
-  const std::uint32_t c0 = nc.var == top ? nc.lo : c;
-  const std::uint32_t c1 = nc.var == top ? nc.hi : c;
+  const std::uint32_t f0 = nf.var == tv ? nf.lo : f;
+  const std::uint32_t f1 = nf.var == tv ? nf.hi : f;
+  const std::uint32_t c0 = nc.var == tv ? nc.lo : c;
+  const std::uint32_t c1 = nc.var == tv ? nc.hi : c;
   std::uint32_t r;
   if (c0 == kFalse) {
     r = constrain_rec(f1, c1);
   } else if (c1 == kFalse) {
     r = constrain_rec(f0, c0);
   } else {
-    r = mk(top, constrain_rec(f0, c0), constrain_rec(f1, c1));
+    r = mk(tv, constrain_rec(f0, c0), constrain_rec(f1, c1));
   }
   cache_put(kOpConstrain, f, c, 0, r);
   return r;
@@ -1202,17 +1503,18 @@ std::uint32_t Manager::restrict_min_rec(std::uint32_t f, std::uint32_t c) {
     // splitting f (this keeps the support within f's).
     r = restrict_min_rec(f, or_rec(nodes_[c].lo, nodes_[c].hi));
   } else {
-    const std::uint32_t top = level(f);
     const Node& nf = nodes_[f];
     const Node& nc = nodes_[c];
-    const std::uint32_t c0 = nc.var == top ? nc.lo : c;
-    const std::uint32_t c1 = nc.var == top ? nc.hi : c;
+    // f's variable is topmost; c branches on it iff it sits at f's level.
+    const std::uint32_t fv = nf.var;
+    const std::uint32_t c0 = nc.var == fv ? nc.lo : c;
+    const std::uint32_t c1 = nc.var == fv ? nc.hi : c;
     if (c0 == kFalse) {
       r = restrict_min_rec(nf.hi, c1);
     } else if (c1 == kFalse) {
       r = restrict_min_rec(nf.lo, c0);
     } else {
-      r = mk(top, restrict_min_rec(nf.lo, c0), restrict_min_rec(nf.hi, c1));
+      r = mk(fv, restrict_min_rec(nf.lo, c0), restrict_min_rec(nf.hi, c1));
     }
   }
   cache_put(kOpRestrictMin, f, c, 0, r);
@@ -1222,7 +1524,10 @@ std::uint32_t Manager::restrict_min_rec(std::uint32_t f, std::uint32_t c) {
 std::uint32_t Manager::compose_rec(std::uint32_t f, std::uint32_t var,
                                    std::uint32_t g) {
   const Frame frame(*this);
-  if (level(f) > var) return f;  // also covers terminals (level infinity)
+  if (level(f) == kTermVar) return f;
+  // Below var's level f cannot depend on var (a var outside the manager
+  // has no level; recursion then just rebuilds f).
+  if (var < num_vars_ && level(f) > var2level_[var]) return f;
   std::uint32_t cached;
   if (cache_get(kOpCompose, f, g, var, cached)) return cached;
   const Node nf = nodes_[f];
@@ -1239,14 +1544,13 @@ std::uint32_t Manager::compose_rec(std::uint32_t f, std::uint32_t var,
   return r;
 }
 
-std::uint32_t Manager::restrict_rec(std::uint32_t f, std::uint32_t var,
-                                    bool value,
-                                    std::vector<std::uint32_t>& memo) {
+std::uint32_t Manager::restrict_rec(
+    std::uint32_t f, std::uint32_t var, bool value,
+    std::unordered_map<std::uint32_t, std::uint32_t>& memo) {
   const Frame frame(*this);
-  if (level(f) > var && level(f) != kTermVar) return f;
   if (level(f) == kTermVar) return f;
-  if (memo.empty()) memo.assign(nodes_.size(), kNil);
-  if (memo[f] != kNil) return memo[f];
+  if (var < num_vars_ && level(f) > var2level_[var]) return f;
+  if (const auto it = memo.find(f); it != memo.end()) return it->second;
   const Node nd = nodes_[f];
   std::uint32_t r;
   if (nd.var == var) {
@@ -1265,14 +1569,19 @@ std::uint32_t Manager::restrict_rec(std::uint32_t f, std::uint32_t var,
 
 Bdd Manager::cube(const std::vector<std::uint32_t>& vars) {
   maybe_collect();
-  // Build bottom-up (largest variable first) so every mk is ordered.
+  // Build bottom-up (deepest level first) so every mk is ordered.
   std::vector<std::uint32_t> sorted = vars;
-  std::sort(sorted.begin(), sorted.end());
-  std::uint32_t acc = kTrue;
-  for (auto it = sorted.rbegin(); it != sorted.rend(); ++it) {
-    if (*it >= num_vars_) {
+  for (const std::uint32_t v : sorted) {
+    if (v >= num_vars_) {
       throw std::invalid_argument("Manager::cube: unknown var");
     }
+  }
+  std::sort(sorted.begin(), sorted.end(),
+            [&](std::uint32_t a, std::uint32_t b) {
+              return var2level_[a] < var2level_[b];
+            });
+  std::uint32_t acc = kTrue;
+  for (auto it = sorted.rbegin(); it != sorted.rend(); ++it) {
     acc = mk(*it, kFalse, acc);
   }
   return wrap(acc);
@@ -1292,7 +1601,11 @@ Bdd Manager::minterm(const std::vector<std::uint32_t>& vars,
     }
     lits.emplace_back(vars[i], values[i]);
   }
-  std::sort(lits.begin(), lits.end());
+  std::sort(lits.begin(), lits.end(),
+            [&](const std::pair<std::uint32_t, bool>& a,
+                const std::pair<std::uint32_t, bool>& b) {
+              return var2level_[a.first] < var2level_[b.first];
+            });
   std::uint32_t acc = kTrue;
   for (auto it = lits.rbegin(); it != lits.rend(); ++it) {
     acc = it->second ? mk(it->first, kFalse, acc) : mk(it->first, acc, kFalse);
@@ -1321,15 +1634,23 @@ Bdd Manager::rename(const Bdd& f, const std::vector<std::uint32_t>& map) {
   check_mine(f, "rename");
   // Verify the map is order-preserving and injective on f's support; a
   // violation would silently produce a mis-ordered (non-canonical) DAG.
-  const std::vector<std::uint32_t> sup = f.support();
-  for (std::size_t i = 0; i < sup.size(); ++i) {
-    if (sup[i] >= map.size()) {
+  std::vector<std::uint32_t> sup = f.support();
+  for (const std::uint32_t v : sup) {
+    if (v >= map.size()) {
       throw std::invalid_argument("Manager::rename: map too short");
     }
-    if (map[sup[i]] >= num_vars_) {
+    if (map[v] >= num_vars_) {
       throw std::invalid_argument("Manager::rename: target var unknown");
     }
-    if (i > 0 && map[sup[i - 1]] >= map[sup[i]]) {
+  }
+  // Order preservation is about LEVELS: walking the support from the top
+  // of the current order down, the targets' levels must strictly descend
+  // with it (which also gives injectivity on the support).
+  std::sort(sup.begin(), sup.end(), [&](std::uint32_t a, std::uint32_t b) {
+    return var2level_[a] < var2level_[b];
+  });
+  for (std::size_t i = 1; i < sup.size(); ++i) {
+    if (var2level_[map[sup[i - 1]]] >= var2level_[map[sup[i]]]) {
       throw std::invalid_argument(
           "Manager::rename: map does not preserve variable order");
     }
@@ -1369,24 +1690,54 @@ std::vector<bool> Manager::pick_one_assignment(
     }
   }
   std::vector<bool> values(vars.size(), false);
+  // The choice is defined ORDER-INDEPENDENTLY: the lexicographically
+  // smallest satisfying assignment w.r.t. the variable INDICES in `vars`,
+  // preferring false.  Witness traces therefore come out bit-identical no
+  // matter what order reordering has left the manager in.
+  if (identity_order()) {
+    // Fast path: under the identity order a single top-down walk computes
+    // exactly that assignment (each variable is met in index order and the
+    // low branch is preferred).
+    std::uint32_t n = f.idx_;
+    for (std::size_t i = 0; i < vars.size(); ++i) {
+      if (level(n) == kTermVar || nodes_[n].var != vars[i]) {
+        // f does not branch on vars[i] here: any value works; pick false.
+        if (level(n) != kTermVar && nodes_[n].var < vars[i]) {
+          throw std::invalid_argument(
+              "pick_one_assignment: vars does not cover the support");
+        }
+        continue;
+      }
+      const Node& nd = nodes_[n];
+      if (nd.lo != kFalse) {
+        values[i] = false;
+        n = nd.lo;
+      } else {
+        values[i] = true;
+        n = nd.hi;
+      }
+    }
+    if (n != kTrue) {
+      throw std::invalid_argument(
+          "pick_one_assignment: vars does not cover the support");
+    }
+    return values;
+  }
+  // Permuted order: greedy cofactoring in index order.  values[i] = false
+  // iff the function restricted by the choices so far stays satisfiable
+  // with vars[i] = false -- the same greedy rule the walk implements.
   std::uint32_t n = f.idx_;
   for (std::size_t i = 0; i < vars.size(); ++i) {
-    if (level(n) == kTermVar || nodes_[n].var != vars[i]) {
-      // f does not branch on vars[i] here: any value works; pick false.
-      if (level(n) != kTermVar && nodes_[n].var < vars[i]) {
-        throw std::invalid_argument(
-            "pick_one_assignment: vars does not cover the support");
-      }
-      continue;
-    }
-    const Node& nd = nodes_[n];
-    // Prefer the low branch (a deterministic choice keeps traces stable).
-    if (nd.lo != kFalse) {
+    if (level(n) == kTermVar) break;  // remaining vars are free: all false
+    std::unordered_map<std::uint32_t, std::uint32_t> memo;
+    const std::uint32_t f0 = restrict_rec(n, vars[i], false, memo);
+    if (f0 != kFalse) {
       values[i] = false;
-      n = nd.lo;
+      n = f0;
     } else {
       values[i] = true;
-      n = nd.hi;
+      memo.clear();
+      n = restrict_rec(n, vars[i], true, memo);
     }
   }
   if (n != kTrue) {
@@ -1406,42 +1757,62 @@ void Manager::for_each_assignment(
     }
   }
   if (f.is_false()) return;
-  std::vector<bool> values(vars.size(), false);
-  // Depth = position in `vars`; branch on the BDD only when its top
-  // variable matches, otherwise both values lead to the same subfunction.
+  // The walk must follow the BDD's LEVEL order, but the enumeration is
+  // promised in lexicographic order of `vars` (by variable INDEX), which a
+  // reorder must not change.  So: visit `vars` sorted by current level,
+  // collect the rows, sort them, then emit.  Under the identity order the
+  // rows are generated lexicographically already and the sort is a no-op.
+  const std::size_t k = vars.size();
+  // Variables outside the manager (tolerated, as before: f cannot branch
+  // on them) sort below every real level.
+  const auto lvl_of_var = [&](std::uint32_t v) {
+    return v < num_vars_ ? var2level_[v] : kTermVar;
+  };
+  std::vector<std::size_t> pos(k);  // visit order: positions by level
+  for (std::size_t i = 0; i < k; ++i) pos[i] = i;
+  std::sort(pos.begin(), pos.end(), [&](std::size_t a, std::size_t b) {
+    return lvl_of_var(vars[a]) < lvl_of_var(vars[b]);
+  });
+  std::vector<std::vector<bool>> rows;
+  std::vector<bool> values(k, false);
+  // Depth = position in the level-sorted visit order; branch on the BDD
+  // only when its top variable matches, otherwise both values lead to the
+  // same subfunction.
   auto rec = [&](auto&& self, std::size_t depth, std::uint32_t n) -> void {
-    if (depth == vars.size()) {
+    if (depth == k) {
       if (n != kTrue) {
         throw std::invalid_argument(
             "for_each_assignment: vars does not cover the support");
       }
-      visit(values);
+      rows.push_back(values);
       return;
     }
+    const std::uint32_t v = vars[pos[depth]];
     const std::uint32_t lvl = level(n);
-    if (lvl != kTermVar && lvl < vars[depth]) {
+    if (lvl != kTermVar && lvl < lvl_of_var(v)) {
       throw std::invalid_argument(
           "for_each_assignment: vars does not cover the support");
     }
-    if (lvl == kTermVar || lvl != vars[depth]) {
+    if (lvl == kTermVar || nodes_[n].var != v) {
       for (const bool b : {false, true}) {
-        values[depth] = b;
+        values[pos[depth]] = b;
         self(self, depth + 1, n);
       }
       return;
     }
     const Node& nd = nodes_[n];
     if (nd.lo != kFalse) {
-      values[depth] = false;
+      values[pos[depth]] = false;
       self(self, depth + 1, nd.lo);
     }
     if (nd.hi != kFalse) {
-      values[depth] = true;
+      values[pos[depth]] = true;
       self(self, depth + 1, nd.hi);
     }
   };
   rec(rec, 0, f.raw_index());
-  (void)f;
+  std::sort(rows.begin(), rows.end());
+  for (const auto& row : rows) visit(row);
 }
 
 void Manager::dump_dot(std::ostream& os, const std::vector<Bdd>& roots,
@@ -1463,9 +1834,19 @@ void Manager::dump_dot(std::ostream& os, const std::vector<Bdd>& roots,
     stack.pop_back();
     if (!seen.insert(n).second) continue;
     const Node& nd = nodes_[n];
-    std::string label = nd.var < names.size() && !names[nd.var].empty()
-                            ? names[nd.var]
-                            : "v" + std::to_string(nd.var);
+    std::string label;
+    if (nd.var < names.size() && !names[nd.var].empty()) {
+      label = names[nd.var];
+    } else {
+      label = 'v';
+      label += std::to_string(nd.var);
+    }
+    // Post-reorder dumps are unreadable without positions: annotate every
+    // node with the level its variable currently occupies.
+    if (nd.var < num_vars_) {
+      label += " @";
+      label += std::to_string(var2level_[nd.var]);
+    }
     os << "  n" << n << " [label=\"" << label << "\"];\n"
        << "  n" << n << " -> n" << nd.lo << " [style=dashed];\n"
        << "  n" << n << " -> n" << nd.hi << ";\n";

@@ -15,9 +15,16 @@
 //     generation uses to pull one concrete state out of a symbolic set;
 //   * reference-counted garbage collection driven by RAII handles.
 //
-// The variable order is the creation order (variable index == level).  The
-// transition-system layer interleaves current/next variables, which keeps
-// the pairwise current<->next renaming order-preserving.
+// Variable *index* and *level* are separate: a node stores its variable
+// index (stable for the node's lifetime), while the position of that
+// variable in the order is given by the var->level / level->var
+// permutations the manager maintains (inverse bijections; initially the
+// identity, i.e. creation order).  Dynamic reordering (src/order) permutes
+// levels via the adjacent-level swap_levels() primitive; external Bdd
+// handles stay valid across reorders because node indices never move.
+// The transition-system layer interleaves current/next variables and
+// declares each pair a group (group_vars), so sifting moves the pair as a
+// block and the pairwise current<->next renaming stays order-preserving.
 //
 // Thread safety: a Manager and all Bdd handles attached to it are confined
 // to one thread.  Distinct managers are independent.
@@ -31,6 +38,7 @@
 #include <iosfwd>
 #include <limits>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "guard/guard.hpp"
@@ -198,6 +206,13 @@ struct ManagerStats {
   std::size_t exhaust_retries = 0;  ///< ops retried after a recovery GC
   std::size_t node_limit_hits = 0;  ///< hard node-limit violations in mk()
   std::size_t alloc_failures = 0;   ///< bad_alloc during table growth
+  // Dynamic variable ordering (src/order; DESIGN.md §10).
+  std::size_t reorder_runs = 0;    ///< completed Manager::reorder() passes
+  std::size_t reorder_swaps = 0;   ///< adjacent-level swaps performed
+  std::size_t reorder_aborts = 0;  ///< sift passes cut short by the budget
+  std::size_t reorder_nodes_before = 0;  ///< live nodes entering last reorder
+  std::size_t reorder_nodes_after = 0;   ///< live nodes leaving last reorder
+  std::uint64_t reorder_time_ns = 0;     ///< total wall time inside reorder()
   /// Top-level calls per apply-style operation, indexed by ApplyOp.
   std::array<std::uint64_t, kNumApplyOps> apply_calls{};
 
@@ -292,7 +307,11 @@ class Manager {
   ///   * unique-table canonicality: every live non-terminal is threaded in
   ///     exactly its own bucket chain, and no (var, lo, hi) triple occurs
   ///     twice (hash-consing never duplicated a node);
-  ///   * ordering: every node's variable precedes both children's;
+  ///   * ordering: every node's level is strictly above both children's
+  ///     under the current variable order;
+  ///   * level maps: var2level / level2var are inverse bijections, every
+  ///     live node's variable has a level, and each reorder group occupies
+  ///     a contiguous run of levels;
   ///   * reduction: no redundant lo == hi node survived mk();
   ///   * refcount census: every node's count covers its internal parents,
   ///     and the surplus over all nodes is covered by the live external
@@ -348,6 +367,71 @@ class Manager {
   /// is exhausted.  `what` names the caller in the exception message.
   void checkpoint(const char* what);
 
+  // -- dynamic variable ordering ---------------------------------------------
+  // The manager keeps two inverse permutations over [0, num_vars):
+  // var2level_ maps a variable index to its position in the order and
+  // level2var_ maps a position back to the variable.  Invariants (audited):
+  //
+  //   * level2var_[var2level_[v]] == v for every v (inverse bijections);
+  //   * every interior node's level is strictly above both children's
+  //     (terminals sit below every variable);
+  //   * each group (see group_vars) occupies a contiguous run of levels in
+  //     its declared internal order.
+  //
+  // The unique table hashes on (var, lo, hi) -- variable indices, not
+  // levels -- so buckets are stable under permutation and swap_levels only
+  // touches the nodes of the one variable it moves.
+
+  /// Current level (position in the order) of variable v.
+  [[nodiscard]] std::uint32_t level_of_var(std::uint32_t v) const;
+  /// The variable currently sitting at level `lvl`.
+  [[nodiscard]] std::uint32_t var_at_level(std::uint32_t lvl) const;
+  /// The whole order, top to bottom: element l is the variable at level l.
+  [[nodiscard]] const std::vector<std::uint32_t>& current_order() const {
+    return level2var_;
+  }
+  /// True while var2level is the identity (the fast paths stay exact).
+  [[nodiscard]] bool identity_order() const { return displaced_vars_ == 0; }
+
+  /// Swap the variables at levels `lvl` and `lvl + 1` (Rudell's adjacent
+  /// swap).  Only nodes of the upper variable are rewritten, in place, so
+  /// every external Bdd handle keeps denoting the same function.  Outside a
+  /// reorder session this flushes the computed cache and (when audits are
+  /// enabled) re-audits; inside a session the flush is deferred to
+  /// reorder_session_end().  Must not be called from inside a kernel.
+  void swap_levels(std::uint32_t lvl);
+
+  /// Declare `vars` a reorder group: they must sit at adjacent levels (in
+  /// the given order) and from now on sift as one block, preserving their
+  /// relative order.  Used by the transition-system layer to pin each
+  /// current/next rail pair together.
+  void group_vars(const std::vector<std::uint32_t>& vars);
+  /// The group id of variable v (== v for ungrouped variables).
+  [[nodiscard]] std::uint32_t var_group(std::uint32_t v) const;
+
+  /// Live interior nodes per variable index (diagnostics / sift ordering).
+  [[nodiscard]] std::vector<std::size_t> var_node_counts() const;
+
+  /// Run one full sifting pass now (order::sift with default options,
+  /// honouring the installed budget: exhaustion aborts between block moves
+  /// and rolls the in-flight block back to the best position seen).
+  /// Returns false when there is nothing to do (fewer than two variables,
+  /// a kernel or another reorder is active).  Defined in src/order.
+  bool reorder();
+  /// Enable/disable the automatic growth trigger: when live nodes have at
+  /// least doubled since the last reorder (and exceed a small floor),
+  /// maybe_collect() runs reorder() before the next top-level operation.
+  void set_auto_reorder(bool on);
+  [[nodiscard]] bool auto_reorder() const { return auto_reorder_; }
+
+  /// Bracket a sequence of swap_levels calls: begin garbage-collects (so
+  /// refcounts are exact) and suspends the hard node limit (sifting must
+  /// never throw out of mk); end flushes the computed cache and re-audits.
+  /// Used by the sifter; standalone swap_levels calls self-bracket.
+  void reorder_session_begin();
+  void reorder_session_end(bool audit_after = true);
+  [[nodiscard]] bool in_reorder_session() const { return order_session_; }
+
  private:
   friend class Bdd;
   friend class FixpointGuard;
@@ -359,7 +443,8 @@ class Manager {
   static constexpr std::uint32_t kNil = 0xFFFFFFFFu;      // chain terminator
 
   struct Node {
-    std::uint32_t var;   // level; kTermVar for terminals, kFreeVar when freed
+    std::uint32_t var;   // variable index (level via var2level_);
+                         // kTermVar for terminals, kFreeVar when freed
     std::uint32_t lo;    // else-child
     std::uint32_t hi;    // then-child
     std::uint32_t next;  // unique-table chain
@@ -394,13 +479,30 @@ class Manager {
   /// external-handle census that audit_check() verifies against.
   void handle_ref(std::uint32_t idx);
   void handle_deref(std::uint32_t idx);
+  /// Level of the node at `idx`: the position of its variable in the
+  /// current order.  Terminals (kTermVar) and freed slots (kFreeVar)
+  /// compare above every variable, as before.
   [[nodiscard]] std::uint32_t level(std::uint32_t idx) const {
-    return nodes_[idx].var;
+    const std::uint32_t v = nodes_[idx].var;
+    return v >= num_vars_ ? v : var2level_[v];
   }
   void grow_table();
   [[nodiscard]] std::size_t bucket_of(std::uint32_t var, std::uint32_t lo,
                                       std::uint32_t hi) const;
   void maybe_collect();
+  void maybe_auto_reorder();
+
+  // -- reordering plumbing --------------------------------------------------
+  /// Remove node `n` from its unique-table bucket chain.
+  void unlink_node(std::uint32_t n);
+  /// Thread node `n` at the head of its unique-table bucket chain.
+  void link_node(std::uint32_t n);
+  /// Drop one reference from `idx` and eagerly reclaim it (and any children
+  /// that become unreferenced) when the count hits zero.  Only used by
+  /// swap_levels, where refcounts are exact (session begin GCed).
+  void deref_reclaim(std::uint32_t idx);
+  /// Invalidate every computed-cache entry.
+  void flush_cache();
 
   // -- computed cache ------------------------------------------------------
   [[nodiscard]] bool cache_get(std::uint32_t op, std::uint32_t f,
@@ -467,7 +569,7 @@ class Manager {
 
   // Helpers used by Bdd methods.
   std::uint32_t restrict_rec(std::uint32_t f, std::uint32_t var, bool value,
-                             std::vector<std::uint32_t>& memo);
+                             std::unordered_map<std::uint32_t, std::uint32_t>& memo);
 
   std::vector<Node> nodes_;
   std::vector<std::uint32_t> buckets_;   // unique table, power-of-two size
@@ -480,6 +582,17 @@ class Manager {
   bool auto_gc_ = true;
   ManagerStats stats_;
   int diag_source_id_ = -1;  // registration with diag::Registry::global()
+
+  // Variable-order state (see the public ordering section).
+  std::vector<std::uint32_t> var2level_;  // variable index -> level
+  std::vector<std::uint32_t> level2var_;  // level -> variable index
+  std::vector<std::uint32_t> group_of_;   // variable index -> group id
+  std::size_t displaced_vars_ = 0;  // #vars with var2level_[v] != v
+  bool order_session_ = false;      // inside reorder_session brackets
+  bool in_reorder_ = false;         // inside Manager::reorder()
+  bool auto_reorder_ = false;       // growth-triggered sifting enabled
+  std::size_t reorder_baseline_ = 2;  // live nodes after the last reorder
+  static constexpr std::size_t kReorderFloor = 4096;  // min live to trigger
 
   // Resource governance state.  The limit fields cache the installed
   // budget's limits in checkpoint-friendly form (max() / 0 = "off") so the

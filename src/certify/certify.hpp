@@ -182,6 +182,19 @@ class TraceCertifier {
   mutable std::unique_ptr<CrossCheck> cross_;  // lazily built
 };
 
+// -- order independence ------------------------------------------------------
+
+/// Certify that a trace's validity and rendering survive a variable
+/// reorder: certify_path before, snapshot the SMV-style rendering, force a
+/// sifting pass on the system's manager (ts is non-const for exactly this
+/// reason), certify_path again, and require the rendering unchanged
+/// bit-for-bit.  Passing this means the trace's meaning is a property of
+/// the functions, not of the level permutation they happen to be stored
+/// under.  The reorder is a real, persistent reorder of the manager --
+/// callers that care about the order must re-reorder themselves.
+[[nodiscard]] Certificate certify_order_independence(ts::TransitionSystem& ts,
+                                                     const core::Trace& trace);
+
 // -- explicit-engine witnesses ----------------------------------------------
 //
 // The same notion of "valid trace" for the enumerative engine: both engines

@@ -14,6 +14,9 @@ Checker::Checker(ts::TransitionSystem& ts, const CheckOptions& options)
   if (!ts.finalized()) {
     throw std::invalid_argument("Checker: transition system not finalized");
   }
+  if (options.reorder.has_value()) {
+    ts.manager().set_auto_reorder(*options.reorder);
+  }
 }
 
 // ---------------------------------------------------------------------------

@@ -43,6 +43,10 @@ struct CheckOptions {
   /// Simplify fixpoint operands and sweeps against the reachable care set
   /// (see EvalContext / DESIGN.md §9).  Unset reads SYMCEX_CARE_SET.
   std::optional<bool> use_care_set;
+  /// Enable growth-triggered dynamic variable reordering (pair-grouped
+  /// sifting; see src/order and DESIGN.md §10).  Unset reads
+  /// SYMCEX_REORDER, which the manager sampled at construction.
+  std::optional<bool> reorder;
 };
 
 /// Counters the checker accumulates (reset with reset_stats()).

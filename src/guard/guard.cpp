@@ -28,7 +28,8 @@ std::string BudgetSpent::to_string() const {
   os << "live_nodes=" << live_nodes << " peak_nodes=" << peak_nodes
      << " memory_bytes=" << memory_bytes << " elapsed_ms=" << elapsed_ms
      << " iterations=" << iterations << " depth=" << depth
-     << " soft_gc_runs=" << soft_gc_runs;
+     << " soft_gc_runs=" << soft_gc_runs
+     << " reorder_swaps=" << reorder_swaps;
   return os.str();
 }
 

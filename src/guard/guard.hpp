@@ -59,6 +59,8 @@ struct BudgetSpent {
                                  ///< the abort was not inside a loop)
   std::size_t depth = 0;         ///< kernel recursion depth at the abort
   std::size_t soft_gc_runs = 0;  ///< GCs the soft node limit forced
+  std::size_t reorder_swaps = 0;  ///< adjacent-level swaps by dynamic
+                                  ///< variable reordering (src/order)
 
   [[nodiscard]] std::string to_string() const;
 };

@@ -1,0 +1,67 @@
+// SymCeX -- dynamic variable ordering (DESIGN.md §10).
+//
+// Policy layer over the bdd::Manager ordering primitives: Rudell sifting
+// [Rudell 93] and bounded window permutation, both operating on BLOCKS --
+// maximal runs of adjacent levels whose variables share a reorder group
+// (Manager::group_vars).  The transition-system layer groups each
+// current/next rail pair, so a block move keeps every pair adjacent with
+// the current variable on top, which is exactly the discipline
+// ts::TransitionSystem::audit() checks and what keeps the cur<->next
+// renaming order-preserving by construction.
+//
+// Both passes run inside a Manager reorder session (GC first, computed
+// cache flushed once at the end, hard node limit suspended so mk never
+// throws mid-sift) and poll the manager's installed guard::ResourceBudget
+// between block moves: on exhaustion the in-flight block is rolled back to
+// the best position seen and the pass ends early with `aborted` set --
+// never by throwing.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "bdd/bdd.hpp"
+
+namespace symcex::order {
+
+/// Tuning knobs for one sifting pass.
+struct SiftOptions {
+  /// Abandon a block's downward/upward walk when live nodes exceed this
+  /// factor of the best size seen for it (Rudell's maxGrowth).
+  double max_growth = 1.2;
+  /// Sift at most this many blocks (0 = all), largest node count first.
+  std::size_t max_blocks = 0;
+  /// Abort the whole pass after this many adjacent-level swaps (0 = no
+  /// cap); the in-flight block still rolls back to its best position.
+  std::size_t max_swaps = 0;
+};
+
+/// What one pass did.
+struct SiftResult {
+  std::size_t nodes_before = 0;  ///< live nodes at session start (post-GC)
+  std::size_t nodes_after = 0;   ///< live nodes at session end
+  std::size_t swaps = 0;         ///< adjacent-level swaps performed
+  std::size_t blocks_sifted = 0;  ///< blocks fully processed
+  bool aborted = false;  ///< budget / max_swaps cut the pass short
+};
+
+/// One full sifting pass: every block (largest first) walks to the bottom
+/// of the order and back to the top, then settles at the position where
+/// live nodes were lowest.  Ties keep the earlier position, so a pass
+/// over an already-optimal order is a no-op (the order is unchanged).
+SiftResult sift(bdd::Manager& mgr, const SiftOptions& options = {});
+
+/// Bounded window permutation: slide a window of `window` (2 or 3)
+/// consecutive blocks down the order, trying every permutation of the
+/// blocks inside it and keeping the best.  Cheaper than a full sift;
+/// useful as a polish pass.
+SiftResult window_permute(bdd::Manager& mgr, std::size_t window = 3);
+
+/// The current blocks, top to bottom: each entry lists one group's member
+/// variables in level order (singletons for ungrouped variables).
+[[nodiscard]] std::vector<std::vector<std::uint32_t>> blocks(
+    const bdd::Manager& mgr);
+
+}  // namespace symcex::order

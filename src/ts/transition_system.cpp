@@ -66,11 +66,13 @@ VarId TransitionSystem::add_var(const std::string& name) {
   const auto v = static_cast<VarId>(names_.size());
   names_.push_back(name);
   by_name_.emplace(name, v);
-  // Interleaved rails: BDD var 2v is current, 2v+1 is next.
+  // Interleaved rails: BDD var 2v is current, 2v+1 is next.  The pair is
+  // registered as a reorder group, so dynamic reordering moves it as a
+  // block and the rails stay interleaved (prime/unprime remain
+  // order-preserving by construction).
   const std::uint32_t c = mgr_->new_var();
   const std::uint32_t n = mgr_->new_var();
-  (void)c;
-  (void)n;
+  mgr_->group_vars({c, n});
   return v;
 }
 
@@ -177,6 +179,10 @@ void TransitionSystem::finalize() {
     max_cluster_dag = std::max(max_cluster_dag, p.dag_size());
   }
   build_schedules();
+  // With reordering enabled, sift once over the fully built structure:
+  // cluster merging just produced the session's big relations, so this is
+  // the cheapest point to shrink them before the fixpoints begin.
+  if (mgr_->auto_reorder()) (void)mgr_->reorder();
   if (diag::enabled()) {
     auto& r = diag::Registry::global();
     r.gauge_set_in("ts", "parts", static_cast<double>(parts_.size()));
@@ -219,6 +225,20 @@ std::string TransitionSystem::audit_check() const {
   }
   if (next_support.size() != n || !rail_ok(next_support, 1)) {
     return fail("next-rail cube is not exactly the odd variables");
+  }
+  // Dynamic reordering may permute pairs against each other, but each
+  // current/next pair must stay adjacent (current on top) and grouped, or
+  // prime/unprime would stop being order-preserving rewrites.
+  for (VarId v = 0; v < n; ++v) {
+    const std::uint32_t c = 2 * static_cast<std::uint32_t>(v);
+    if (mgr_->level_of_var(c) + 1 != mgr_->level_of_var(c + 1)) {
+      return fail("state variable " + std::to_string(v) +
+                  ": current/next rails are not at adjacent levels");
+    }
+    if (mgr_->var_group(c) != mgr_->var_group(c + 1)) {
+      return fail("state variable " + std::to_string(v) +
+                  ": current/next rails are not in one reorder group");
+    }
   }
 
   // -- support containment ---------------------------------------------------

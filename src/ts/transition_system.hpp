@@ -10,6 +10,13 @@
 // and 2i+1 (next).  Interleaving keeps R small for the common case of
 // per-variable next-state functions and makes the current<->next renaming
 // order-preserving, so `prime`/`unprime` are cheap structural rewrites.
+// Each pair is registered as a reorder group (Manager::group_vars), so
+// dynamic variable reordering (src/order, DESIGN.md §10) moves pairs as
+// blocks: levels may be permuted freely across pairs, but within a pair
+// the current variable always sits directly above its next twin --
+// audit() checks exactly this discipline.  With SYMCEX_REORDER (or
+// core::CheckOptions::reorder) set, finalize() runs one sifting pass
+// after cluster merging and the manager re-sifts on 2x live-node growth.
 //
 // The transition relation may be kept as a conjunctive partition
 // (one conjunct per assignment/gate); image and preimage then use a fused

@@ -292,8 +292,9 @@ TEST_F(BddTest, DotExportMentionsAllNodes) {
   m.dump_dot(os, {f}, {"a", "b"});
   const std::string dot = os.str();
   EXPECT_NE(dot.find("digraph"), std::string::npos);
-  EXPECT_NE(dot.find("\"a\""), std::string::npos);
-  EXPECT_NE(dot.find("\"b\""), std::string::npos);
+  // Node labels carry the variable's current level ("name @level").
+  EXPECT_NE(dot.find("\"a @0\""), std::string::npos);
+  EXPECT_NE(dot.find("\"b @1\""), std::string::npos);
 }
 
 TEST_F(BddTest, CubeStringRendersLiterals) {
