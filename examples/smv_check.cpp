@@ -8,6 +8,10 @@
 //   --simulate N    print a random N-step execution before checking
 //   --seed S        RNG seed for --simulate (default 1)
 //   --dot FILE      write the reachable state graph (Graphviz) to FILE
+//   --evidence DIR  write an evidence bundle (JSON + annotated DOT + HTML)
+//                   per spec into DIR; the SYMCEX_EVIDENCE_DIR environment
+//                   variable does the same when the flag is absent.  Each
+//                   bundle re-verifies standalone with tools/symcex-verify.
 //
 // For each SPEC the verdict is printed, and when a counterexample or
 // witness exists the trace is rendered with SMV-level variable values
@@ -24,6 +28,7 @@
 #include "core/checker.hpp"
 #include "core/explain.hpp"
 #include "core/trace_util.hpp"
+#include "evidence/evidence.hpp"
 #include "guard/guard.hpp"
 #include "smv/smv.hpp"
 
@@ -75,6 +80,7 @@ int main(int argc, char** argv) {
   std::size_t simulate_steps = 0;
   std::uint64_t seed = 1;
   std::string dot_path;
+  std::string evidence_dir;
   std::string path;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -86,9 +92,11 @@ int main(int argc, char** argv) {
       seed = std::strtoull(argv[++i], nullptr, 10);
     } else if (arg == "--dot" && i + 1 < argc) {
       dot_path = argv[++i];
+    } else if (arg == "--evidence" && i + 1 < argc) {
+      evidence_dir = argv[++i];
     } else if (!arg.empty() && arg[0] == '-') {
       std::cerr << "usage: smv_check [--shorten] [--simulate N] [--seed S] "
-                   "[--dot FILE] [model.smv]\n";
+                   "[--dot FILE] [--evidence DIR] [model.smv]\n";
       return 2;
     } else {
       path = arg;
@@ -137,7 +145,8 @@ int main(int argc, char** argv) {
                 << model.trace_string(walk.prefix, walk.cycle) << "\n";
     }
 
-    core::Checker checker(system);
+    const std::string model_name = path.empty() ? "demo" : path;
+    core::Checker checker(system, {.evidence_dir = evidence_dir});
     core::Explainer explainer(checker);
     int failures = 0;
     for (std::size_t i = 0; i < model.specs().size(); ++i) {
@@ -154,6 +163,26 @@ int main(int argc, char** argv) {
                   << model.trace_string(trace.prefix, trace.cycle);
       }
       std::cout << "\n";
+
+      evidence::BundleBuilder bundle = evidence::from_explanation(
+          system, model_name, model.spec_texts()[i], result);
+      // SMV-level decoding hints: the bundle's trace is raw bits, so
+      // record each non-boolean variable's domain for consumers.
+      for (const auto& var : model.variables()) {
+        if (var.is_boolean) continue;
+        std::string domain;
+        for (const auto& value : var.domain) {
+          if (!domain.empty()) domain += ", ";
+          domain += value.to_string();
+        }
+        bundle.add_annotation("domain:" + var.name, domain);
+      }
+      if (evidence::emit_if_configured(
+              bundle, checker.options().evidence_dir,
+              evidence::sanitize_basename("spec" + std::to_string(i) + "_" +
+                                          model.spec_texts()[i]))) {
+        std::cout << "-- evidence bundle written for spec " << i << "\n\n";
+      }
     }
     return failures == 0 ? 0 : 1;
   } catch (const smv::SmvError& e) {

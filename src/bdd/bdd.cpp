@@ -1815,6 +1815,29 @@ void Manager::for_each_assignment(
   for (const auto& row : rows) visit(row);
 }
 
+std::string dot_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        break;  // a bare CR only corrupts the label; drop it
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
 void Manager::dump_dot(std::ostream& os, const std::vector<Bdd>& roots,
                        const std::vector<std::string>& names) const {
   os << "digraph bdd {\n"
@@ -1847,7 +1870,7 @@ void Manager::dump_dot(std::ostream& os, const std::vector<Bdd>& roots,
       label += " @";
       label += std::to_string(var2level_[nd.var]);
     }
-    os << "  n" << n << " [label=\"" << label << "\"];\n"
+    os << "  n" << n << " [label=\"" << dot_escape(label) << "\"];\n"
        << "  n" << n << " -> n" << nd.lo << " [style=dashed];\n"
        << "  n" << n << " -> n" << nd.hi << ";\n";
     stack.push_back(nd.lo);

@@ -38,6 +38,7 @@
 #include <iosfwd>
 #include <limits>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
@@ -184,6 +185,13 @@ inline constexpr std::size_t kNumApplyOps =
 
 /// Short stable name of an apply operation ("and", "ite", ...).
 [[nodiscard]] const char* apply_op_name(ApplyOp op);
+
+/// Escape `s` for interpolation into a double-quoted Graphviz DOT string:
+/// `"` and `\` are backslash-escaped and newlines become the DOT line-break
+/// escape "\n".  Mangled SMV identifiers may legally contain both, so every
+/// DOT emitter (Manager::dump_dot, ts::TransitionSystem::dump_state_graph,
+/// the evidence renderers) must route labels through this.
+[[nodiscard]] std::string dot_escape(std::string_view s);
 
 /// Aggregate statistics a Manager keeps about itself.  These are plain
 /// always-on counters (no measurable overhead); the diag layer folds them

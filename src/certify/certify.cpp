@@ -7,6 +7,7 @@
 #include <sstream>
 #include <utility>
 
+#include "diag/json.hpp"
 #include "diag/metrics.hpp"
 #include "explicit/explicit_graph.hpp"
 
@@ -73,6 +74,19 @@ std::string Certificate::to_string() const {
     os << '\n';
   }
   return os.str();
+}
+
+void Certificate::write_json(std::ostream& os) const {
+  diag::JsonWriter w(os);
+  w.begin_array();
+  for (const auto& o : obligations) {
+    w.begin_object();
+    w.member("name", o.name);
+    w.member("ok", o.ok);
+    w.member("detail", o.detail);
+    w.end_object();
+  }
+  w.end_array();
 }
 
 void Certificate::require(std::string name, bool ok, std::string detail) {

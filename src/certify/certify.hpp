@@ -31,6 +31,7 @@
 #pragma once
 
 #include <cstddef>
+#include <iosfwd>
 #include <memory>
 #include <stdexcept>
 #include <string>
@@ -68,6 +69,14 @@ struct Certificate {
   /// Multi-line rendering, one obligation per line ("PASS name" / "FAIL
   /// name: detail").
   [[nodiscard]] std::string to_string() const;
+
+  /// JSON rendering of the obligation list (deterministic, strictly valid;
+  /// shared writer from diag/json.hpp):
+  ///   [{"name": ..., "ok": true|false, "detail": ...}, ...]
+  /// This is the form the evidence bundle embeds, so a third party can see
+  /// -- and symcex-verify can re-check -- exactly which duties the engine
+  /// claims to have discharged.
+  void write_json(std::ostream& os) const;
 
   /// Append an obligation (also feeds the diag "certify" counters).
   void require(std::string name, bool ok, std::string detail = "");

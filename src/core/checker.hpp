@@ -47,6 +47,13 @@ struct CheckOptions {
   /// sifting; see src/order and DESIGN.md §10).  Unset reads
   /// SYMCEX_REORDER, which the manager sampled at construction.
   std::optional<bool> reorder;
+  /// Directory evidence bundles for checked results are written to.  The
+  /// checker core never writes files itself; this field is plumbing for
+  /// the drivers (examples/smv_check, tests) which pass it to
+  /// evidence::emit_files after each check.  Empty means "use the
+  /// SYMCEX_EVIDENCE_DIR environment variable" (evidence::default_dir());
+  /// both empty disables emission.
+  std::string evidence_dir;
 };
 
 /// Counters the checker accumulates (reset with reset_stats()).

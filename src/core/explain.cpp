@@ -58,6 +58,7 @@ Explanation Explainer::explain(const Formula::Ptr& spec) {
   out.holds = ts.init().implies(sat);
   walked_temporal_ = false;
   obligations_.clear();
+  obligation_labels_.clear();
 
   Trace trace;
   if (out.holds) {
@@ -100,6 +101,7 @@ Explanation Explainer::explain(const Formula::Ptr& spec) {
     }
     out.trace = std::move(trace);
     out.obligations = obligations_;
+    out.obligation_labels = obligation_labels_;
   }
   return out;
 }
@@ -144,6 +146,7 @@ bool Explainer::show_true(const Formula::Ptr& f, Trace& trace) {
           ts.pick_state(checker_.context().image(here) & good);
       trace.prefix.push_back(t);
       obligations_.push_back(t);  // the chosen successor must survive cuts
+      obligation_labels_.push_back("EX successor: " + ctl::to_string(f->lhs()));
       return show_true(f->lhs(), trace);
     }
     case Kind::kEU: {
@@ -155,6 +158,7 @@ bool Explainer::show_true(const Formula::Ptr& f, Trace& trace) {
       std::vector<bdd::Bdd> path = generator_.walk_rings(rings, here);
       trace.prefix.insert(trace.prefix.end(), path.begin() + 1, path.end());
       obligations_.push_back(path.back());  // the reached target state
+      obligation_labels_.push_back("reaches: " + ctl::to_string(f->rhs()));
       return show_true(f->rhs(), trace);
     }
     case Kind::kEG: {

@@ -37,6 +37,11 @@ struct Explanation {
   /// targets, EX successors).  Pass these to core::shorten() so loop
   /// cutting never removes the demonstrating states.
   std::vector<bdd::Bdd> obligations;
+  /// Human-readable label per obligation, parallel to `obligations`
+  /// (e.g. "reaches: ack" for an EU target).  The evidence renderers use
+  /// these to annotate the demonstrating states in the DOT/HTML views, and
+  /// the bundle exports them as named "visits" duties.
+  std::vector<std::string> obligation_labels;
 };
 
 /// Checks a CTL specification and produces the demonstrating execution.
@@ -76,6 +81,7 @@ class Explainer {
   WitnessGenerator generator_;
   bool walked_temporal_ = false;
   std::vector<bdd::Bdd> obligations_;
+  std::vector<std::string> obligation_labels_;  // parallel to obligations_
 };
 
 }  // namespace symcex::core

@@ -1,7 +1,6 @@
 #include "core/witness.hpp"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 #include <cstdint>
 #include <limits>
@@ -16,18 +15,43 @@ namespace {
 
 constexpr std::size_t kNoRing = std::numeric_limits<std::size_t>::max();
 
+/// A broken ring chain surfaces as a failed Certificate, not as undefined
+/// behaviour: the binary search below is only correct on a monotone chain,
+/// and a wrong minimal index would silently corrupt the witness.  Thrown
+/// as certify::CertificationError so callers treat it exactly like any
+/// other failed trace obligation (recoverable in release builds).
+[[noreturn]] void fail_ring_certificate(std::string detail) {
+  certify::Certificate cert;
+  cert.require("ring-chain-monotone", false, std::move(detail));
+  throw certify::CertificationError("core::min_ring_index", std::move(cert));
+}
+
 /// Smallest i with set & rings[i] nonempty, or kNoRing.  The onion rings
 /// are an increasing chain (Q_i <= Q_{i+1} by construction), so the
 /// predicate "set intersects rings[i]" is monotone in i and the first hit
 /// is found by binary search in O(log n) intersection tests instead of n.
+///
+/// Monotonicity checking: the O(n) full-chain scan runs in debug builds
+/// and whenever certification is enabled; release builds always validate
+/// the result locally (the returned index must be a boundary: its
+/// predecessor ring must miss `set`), which is O(1) and catches any
+/// violation the search actually stepped on.
 std::size_t min_ring_index(const std::vector<bdd::Bdd>& rings,
                            const bdd::Bdd& set) {
-#ifndef NDEBUG
-  for (std::size_t i = 1; i < rings.size(); ++i) {
-    assert(rings[i - 1].implies(rings[i]) &&
-           "min_ring_index: ring chain is not monotone");
-  }
+#ifdef NDEBUG
+  const bool full_scan = certify::enabled();
+#else
+  const bool full_scan = true;
 #endif
+  if (full_scan) {
+    for (std::size_t i = 1; i < rings.size(); ++i) {
+      if (!rings[i - 1].implies(rings[i])) {
+        fail_ring_certificate("rings[" + std::to_string(i - 1) +
+                              "] does not imply rings[" + std::to_string(i) +
+                              "]: the approximation chain is not increasing");
+      }
+    }
+  }
   if (rings.empty() || !set.intersects(rings.back())) return kNoRing;
   std::size_t lo = 0;
   std::size_t hi = rings.size() - 1;  // invariant: set intersects rings[hi]
@@ -38,6 +62,12 @@ std::size_t min_ring_index(const std::vector<bdd::Bdd>& rings,
     } else {
       lo = mid + 1;
     }
+  }
+  if (hi > 0 && set.intersects(rings[hi - 1])) {
+    fail_ring_certificate(
+        "binary search returned index " + std::to_string(hi) +
+        " but the set already intersects rings[" + std::to_string(hi - 1) +
+        "]: the ring chain is not monotone");
   }
   return hi;
 }

@@ -1,0 +1,133 @@
+#include "diag/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+
+namespace symcex::diag {
+
+void write_json_string(std::ostream& os, std::string_view s) {
+  os << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        os << "\\\"";
+        break;
+      case '\\':
+        os << "\\\\";
+        break;
+      case '\n':
+        os << "\\n";
+        break;
+      case '\t':
+        os << "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+std::string json_number_token(double v) {
+  // JSON has no non-finite tokens: clamp infinities to the largest finite
+  // double (the same saturation sat_count applies) and NaN to 0.
+  if (std::isnan(v)) return "0";
+  if (std::isinf(v)) {
+    return v > 0 ? "1.7976931348623157e308" : "-1.7976931348623157e308";
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  std::string out(buf);
+  // snprintf honours the global C locale; normalize a decimal comma so the
+  // token stays valid JSON under e.g. LC_NUMERIC=de_DE.
+  for (char& c : out) {
+    if (c == ',') c = '.';
+  }
+  return out;
+}
+
+void write_json_double(std::ostream& os, double v) {
+  os << json_number_token(v);
+}
+
+// ---------------------------------------------------------------------------
+// JsonWriter
+// ---------------------------------------------------------------------------
+
+void JsonWriter::separate() {
+  if (!need_comma_.empty()) {
+    if (need_comma_.back()) os_ << ", ";
+    need_comma_.back() = true;
+  }
+}
+
+void JsonWriter::begin_object() {
+  separate();
+  os_ << '{';
+  need_comma_.push_back(false);
+}
+
+void JsonWriter::end_object() {
+  os_ << '}';
+  need_comma_.pop_back();
+}
+
+void JsonWriter::begin_array() {
+  separate();
+  os_ << '[';
+  need_comma_.push_back(false);
+}
+
+void JsonWriter::end_array() {
+  os_ << ']';
+  need_comma_.pop_back();
+}
+
+void JsonWriter::key(std::string_view k) {
+  separate();
+  write_json_string(os_, k);
+  os_ << ": ";
+  // The matching value must not emit another comma.
+  if (!need_comma_.empty()) need_comma_.back() = false;
+}
+
+void JsonWriter::value(std::string_view s) {
+  separate();
+  write_json_string(os_, s);
+}
+
+void JsonWriter::value(bool b) {
+  separate();
+  os_ << (b ? "true" : "false");
+}
+
+void JsonWriter::value(std::int64_t i) {
+  separate();
+  // std::to_string, not operator<<: the stream may carry std::hex or a
+  // grouping locale, either of which would corrupt the token.
+  os_ << std::to_string(i);
+}
+
+void JsonWriter::value(std::uint64_t u) {
+  separate();
+  os_ << std::to_string(u);
+}
+
+void JsonWriter::value(double d) {
+  separate();
+  os_ << json_number_token(d);
+}
+
+void JsonWriter::raw(std::string_view json) {
+  separate();
+  os_ << json;
+}
+
+}  // namespace symcex::diag

@@ -1,6 +1,8 @@
 #include "diag/metrics.hpp"
 
 #include <atomic>
+
+#include "diag/json.hpp"
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -39,49 +41,18 @@ std::atomic<bool>& enabled_flag() {
 thread_local std::string t_phase_path;            // "/"-joined segments
 thread_local std::vector<std::size_t> t_phase_lens;  // lengths to pop back to
 
-// -- JSON helpers ------------------------------------------------------------
+// JSON emission goes through the shared diag/json.hpp writer: strings
+// fully escaped, doubles locale-independent and clamped away from the
+// invalid bare inf/nan tokens (sat_count-derived gauges saturate at
+// DBL_MAX and used to leak `inf` through operator<<).
+using diag::write_json_double;
+using diag::write_json_string;
 
 void json_string(std::ostream& os, std::string_view s) {
-  os << '"';
-  for (const char c : s) {
-    switch (c) {
-      case '"':
-        os << "\\\"";
-        break;
-      case '\\':
-        os << "\\\\";
-        break;
-      case '\n':
-        os << "\\n";
-        break;
-      case '\t':
-        os << "\\t";
-        break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof buf, "\\u%04x", c);
-          os << buf;
-        } else {
-          os << c;
-        }
-    }
-  }
-  os << '"';
+  write_json_string(os, s);
 }
 
-// JSON has no infinity; clamp gauges defensively.
-void json_number(std::ostream& os, double v) {
-  if (v != v) {
-    os << "0";
-  } else if (v > 1.7976931348623157e308) {
-    os << "1.7976931348623157e308";
-  } else if (v < -1.7976931348623157e308) {
-    os << "-1.7976931348623157e308";
-  } else {
-    os << v;
-  }
-}
+void json_number(std::ostream& os, double v) { write_json_double(os, v); }
 
 std::string json_output_path;  // guarded by the global registry's mutex? no:
 std::mutex json_path_mu;
@@ -235,7 +206,7 @@ void Registry::to_json(std::ostream& os) const {
         if (!first) os << ", ";
         first = false;
         json_string(os, name);
-        os << ": " << v;
+        os << ": " << std::to_string(v);
       }
       os << '}';
       first_section = false;
@@ -265,7 +236,8 @@ void Registry::to_json(std::ostream& os) const {
         if (!first) os << ", ";
         first = false;
         json_string(os, name);
-        os << ": {\"ns\": " << v.ns << ", \"count\": " << v.count << '}';
+        os << ": {\"ns\": " << std::to_string(v.ns) << ", \"count\": "
+           << std::to_string(v.count) << '}';
       }
       os << '}';
     }

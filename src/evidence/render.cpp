@@ -1,0 +1,275 @@
+// Structured witness renderings: the annotated DOT lasso view and the
+// self-contained HTML report.  Both are pure functions of the bundle --
+// they read the same data write_json exports, so the three artifacts of
+// emit_files can never drift apart.
+
+#include <cstddef>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "evidence/evidence.hpp"
+
+namespace symcex::evidence {
+
+namespace {
+
+/// Per-step annotation strings: which duties this state discharges.
+/// Annotations mirror the semantic duties: the first state satisfying a
+/// "visits" predicate or an EU target, the EX successor, and the first
+/// cycle state visiting each fairness constraint of an EG duty.
+std::vector<std::vector<std::string>> annotate_states(
+    const BundleBuilder& b, const std::vector<bdd::Bdd>& states,
+    std::size_t cycle_start) {
+  std::vector<std::vector<std::string>> notes(states.size());
+  for (const Duty& d : b.duties()) {
+    switch (d.kind) {
+      case Duty::Kind::kVisits: {
+        for (std::size_t i = 0; i < states.size(); ++i) {
+          if (states[i].implies(b.predicate(d.target))) {
+            notes[i].push_back(d.label.empty() ? "visits duty" : d.label);
+            break;
+          }
+        }
+        break;
+      }
+      case Duty::Kind::kEu: {
+        for (std::size_t i = 0; i < states.size(); ++i) {
+          if (states[i].implies(b.predicate(d.target))) {
+            notes[i].push_back("EU target reached");
+            break;
+          }
+        }
+        break;
+      }
+      case Duty::Kind::kEx: {
+        if (states.size() > 1 && states[1].implies(b.predicate(d.target))) {
+          notes[1].push_back("EX successor");
+        }
+        break;
+      }
+      case Duty::Kind::kEg: {
+        for (std::size_t k = 0; k < d.fairness.size(); ++k) {
+          const bdd::Bdd& constraint = b.predicate(d.fairness[k]);
+          for (std::size_t i = cycle_start; i < states.size(); ++i) {
+            if (states[i].implies(constraint)) {
+              notes[i].push_back("fair[" + std::to_string(k) + "]");
+              break;
+            }
+          }
+        }
+        break;
+      }
+      case Duty::Kind::kPrefixInvariant:
+        break;  // a global duty; nothing to pin on one state
+    }
+  }
+  return notes;
+}
+
+std::string header_line(const BundleBuilder& b) {
+  std::string line = b.model_name() + ": " + b.spec() + " -- " + b.verdict();
+  if (b.evidence_kind() != "none") line += " (" + b.evidence_kind() + ")";
+  return line;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// DOT
+// ---------------------------------------------------------------------------
+
+void render_dot(std::ostream& os, const BundleBuilder& bundle,
+                const DotOptions& options) {
+  const ts::TransitionSystem& sys = bundle.system();
+  os << "digraph symcex_trace {\n";
+  os << "  rankdir=LR;\n";
+  os << "  labelloc=\"t\";\n";
+  os << "  label=\"" << bdd::dot_escape(header_line(bundle)) << "\";\n";
+  os << "  node [shape=box, fontname=\"Helvetica\", fontsize=10];\n";
+  if (!bundle.has_trace()) {
+    os << "}\n";
+    return;
+  }
+
+  const core::Trace& trace = bundle.trace();
+  const std::vector<bdd::Bdd> states = trace.states();
+  const std::size_t cycle_start = trace.prefix.size();
+  std::vector<std::vector<bool>> values;
+  values.reserve(states.size());
+  for (const bdd::Bdd& s : states) values.push_back(sys.state_values(s));
+  const auto notes = annotate_states(bundle, states, cycle_start);
+
+  for (std::size_t i = 0; i < states.size(); ++i) {
+    std::vector<std::string> lines;
+    lines.push_back("step " + std::to_string(i) +
+                    (i >= cycle_start ? "  [cycle]" : ""));
+    for (ts::VarId v = 0; v < sys.num_state_vars(); ++v) {
+      const bool show = i == 0 ? (options.full_first_state || values[i][v])
+                               : values[i][v] != values[i - 1][v];
+      if (show) {
+        lines.push_back(sys.var_name(v) + " = " + (values[i][v] ? "1" : "0"));
+      }
+    }
+    if (i > 0 && lines.size() == 1) lines.push_back("(unchanged)");
+    for (const std::string& note : notes[i]) lines.push_back("* " + note);
+
+    os << "  s" << i << " [label=\"";
+    // dot_escape first, then append the raw \l alignment escape -- the
+    // escaper would otherwise double the backslash into a literal "\l".
+    for (const std::string& line : lines) os << bdd::dot_escape(line) << "\\l";
+    os << "\"";
+    if (i >= cycle_start) os << ", style=filled, fillcolor=\"#fff3c4\"";
+    os << "];\n";
+  }
+
+  for (std::size_t i = 0; i + 1 < states.size(); ++i) {
+    os << "  s" << i << " -> s" << i + 1 << ";\n";
+  }
+  if (trace.is_lasso()) {
+    os << "  s" << states.size() - 1 << " -> s" << cycle_start
+       << " [label=\"loop\", style=bold, color=\"#b40000\", "
+          "constraint=false];\n";
+  }
+  os << "}\n";
+}
+
+// ---------------------------------------------------------------------------
+// HTML
+// ---------------------------------------------------------------------------
+
+std::string html_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '&':
+        out += "&amp;";
+        break;
+      case '<':
+        out += "&lt;";
+        break;
+      case '>':
+        out += "&gt;";
+        break;
+      case '"':
+        out += "&quot;";
+        break;
+      case '\'':
+        out += "&#39;";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+void render_html(std::ostream& os, const BundleBuilder& bundle) {
+  const ts::TransitionSystem& sys = bundle.system();
+  os << "<!doctype html>\n<html lang=\"en\">\n<head>\n"
+     << "<meta charset=\"utf-8\">\n"
+     << "<title>" << html_escape(header_line(bundle)) << "</title>\n"
+     << "<style>\n"
+     << "body { font-family: sans-serif; margin: 2em; color: #222; }\n"
+     << "table { border-collapse: collapse; margin: 1em 0; }\n"
+     << "th, td { border: 1px solid #bbb; padding: 4px 10px; "
+        "text-align: left; vertical-align: top; }\n"
+     << "th { background: #eee; }\n"
+     << "tr.cycle td { background: #fff3c4; }\n"
+     << ".verdict-true { color: #0a7a0a; font-weight: bold; }\n"
+     << ".verdict-false { color: #b40000; font-weight: bold; }\n"
+     << ".verdict-unknown { color: #8a6d00; font-weight: bold; }\n"
+     << ".fail { color: #b40000; font-weight: bold; }\n"
+     << ".pass { color: #0a7a0a; }\n"
+     << "code { background: #f4f4f4; padding: 1px 4px; }\n"
+     << "</style>\n</head>\n<body>\n";
+
+  os << "<h1>SymCeX evidence bundle</h1>\n";
+  const std::string verdict_class =
+      bundle.verdict() == "true"
+          ? "verdict-true"
+          : (bundle.verdict() == "false" ? "verdict-false"
+                                         : "verdict-unknown");
+  os << "<p>model <code>" << html_escape(bundle.model_name())
+     << "</code>, spec <code>" << html_escape(bundle.spec())
+     << "</code> &mdash; <span class=\"" << verdict_class << "\">"
+     << html_escape(bundle.verdict()) << "</span> (evidence: "
+     << html_escape(bundle.evidence_kind()) << ")</p>\n";
+  if (!bundle.note().empty()) {
+    os << "<p>" << html_escape(bundle.note()) << "</p>\n";
+  }
+  os << "<p>schema v" << kBundleVersion << ", cluster schedule <code>"
+     << bundle.cluster_schedule_hash() << "</code></p>\n";
+
+  if (bundle.has_trace()) {
+    const core::Trace& trace = bundle.trace();
+    const std::vector<bdd::Bdd> states = trace.states();
+    const std::size_t cycle_start = trace.prefix.size();
+    std::vector<std::vector<bool>> values;
+    values.reserve(states.size());
+    for (const bdd::Bdd& s : states) values.push_back(sys.state_values(s));
+    const auto notes = annotate_states(bundle, states, cycle_start);
+
+    os << "<h2>Trace</h2>\n";
+    if (trace.is_lasso()) {
+      os << "<p>lasso: steps " << cycle_start << ".." << states.size() - 1
+         << " repeat forever (loop-back edge s" << states.size() - 1
+         << " &rarr; s" << cycle_start << ")</p>\n";
+    }
+    os << "<table>\n<tr><th>step</th><th>phase</th>"
+       << "<th>changed variables</th><th>discharges</th></tr>\n";
+    for (std::size_t i = 0; i < states.size(); ++i) {
+      os << (i >= cycle_start ? "<tr class=\"cycle\">" : "<tr>");
+      os << "<td>" << i << "</td><td>"
+         << (i >= cycle_start ? "cycle" : "prefix") << "</td><td>";
+      bool any = false;
+      for (ts::VarId v = 0; v < sys.num_state_vars(); ++v) {
+        const bool show = i == 0 ? true : values[i][v] != values[i - 1][v];
+        if (show) {
+          if (any) os << " ";
+          os << "<code>" << html_escape(sys.var_name(v)) << "="
+             << (values[i][v] ? "1" : "0") << "</code>";
+          any = true;
+        }
+      }
+      if (!any) os << "&mdash;";
+      os << "</td><td>";
+      for (std::size_t n = 0; n < notes[i].size(); ++n) {
+        if (n > 0) os << "; ";
+        os << html_escape(notes[i][n]);
+      }
+      os << "</td></tr>\n";
+    }
+    os << "</table>\n";
+  }
+
+  if (!bundle.duties().empty()) {
+    os << "<h2>Duties</h2>\n<ul>\n";
+    for (const Duty& d : bundle.duties()) {
+      os << "<li><code>" << duty_kind_name(d.kind) << "</code>";
+      if (!d.label.empty()) os << " &mdash; " << html_escape(d.label);
+      os << "</li>\n";
+    }
+    os << "</ul>\n";
+  }
+
+  if (!bundle.certificates().empty()) {
+    os << "<h2>Certificates</h2>\n<table>\n"
+       << "<tr><th>certificate</th><th>obligation</th><th>status</th>"
+       << "<th>detail</th></tr>\n";
+    for (const auto& [name, cert] : bundle.certificates()) {
+      for (const certify::Obligation& o : cert.obligations) {
+        os << "<tr><td>" << html_escape(name) << "</td><td>"
+           << html_escape(o.name) << "</td><td class=\""
+           << (o.ok ? "pass\">PASS" : "fail\">FAIL") << "</td><td>"
+           << html_escape(o.detail) << "</td></tr>\n";
+      }
+    }
+    os << "</table>\n";
+  }
+
+  os << "</body>\n</html>\n";
+}
+
+}  // namespace symcex::evidence

@@ -597,7 +597,8 @@ void TransitionSystem::dump_state_graph(
   for (std::size_t i = 0; i < states.size(); ++i) {
     bool lit = false;
     for (const auto& h : highlight) lit = lit || states[i].intersects(h);
-    os << "  s" << i << " [label=\"" << state_string(states[i]) << "\"";
+    os << "  s" << i << " [label=\"" << bdd::dot_escape(state_string(states[i]))
+       << "\"";
     if (i < num_init) os << ",peripheries=2";
     if (lit) os << ",style=filled,fillcolor=lightgrey";
     os << "];\n";

@@ -124,6 +124,11 @@ class TransitionSystem {
 
   [[nodiscard]] std::size_t num_state_vars() const { return names_.size(); }
   [[nodiscard]] const std::string& var_name(VarId v) const;
+  /// All state variable names in declaration (VarId) order -- the variable
+  /// table the evidence bundles export as model metadata.
+  [[nodiscard]] const std::vector<std::string>& var_names() const {
+    return names_;
+  }
   [[nodiscard]] std::optional<VarId> find_var(const std::string& name) const;
 
   /// Current-state literal of state variable v (BDD variable 2v).

@@ -297,6 +297,31 @@ TEST_F(BddTest, DotExportMentionsAllNodes) {
   EXPECT_NE(dot.find("\"b @1\""), std::string::npos);
 }
 
+TEST_F(BddTest, DotExportEscapesHostileNames) {
+  // Quotes, backslashes and newlines in a variable name must not be able
+  // to break out of the DOT label attribute.
+  const Bdd f = m.var(0) & m.var(1);
+  std::ostringstream os;
+  m.dump_dot(os, {f}, {"say \"hi\"", "back\\slash\nnewline\rcr"});
+  const std::string dot = os.str();
+  EXPECT_NE(dot.find("say \\\"hi\\\""), std::string::npos);
+  EXPECT_NE(dot.find("back\\\\slash\\nnewline"), std::string::npos);
+  // No raw newline, carriage return, or unescaped quote survives inside a
+  // label: every line with a label is a complete  n [label="..."];  stmt.
+  EXPECT_EQ(dot.find("say \"hi\""), std::string::npos);
+  std::istringstream lines(dot);
+  std::string line;
+  while (std::getline(lines, line)) {
+    EXPECT_EQ(line.find('\r'), std::string::npos) << line;
+    const std::size_t label = line.find("label=\"");
+    if (label == std::string::npos) continue;
+    EXPECT_NE(line.find("\"];", label), std::string::npos) << line;
+  }
+
+  // dot_escape drops bare carriage returns outright.
+  EXPECT_EQ(dot_escape("a\"b\\c\nd\re"), "a\\\"b\\\\c\\nde");
+}
+
 TEST_F(BddTest, CubeStringRendersLiterals) {
   const Bdd c = m.var(0) & !m.var(2);
   EXPECT_EQ(c.cube_string({"x", "y", "z"}), "x & !z");

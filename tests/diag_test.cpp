@@ -9,7 +9,9 @@
 #include <gtest/gtest.h>
 
 #include "bdd/bdd.hpp"
+#include "diag/json.hpp"
 #include "diag/metrics.hpp"
+#include "json_mini.hpp"  // tools/: the strict parser symcex-verify uses
 
 namespace symcex {
 namespace {
@@ -150,6 +152,72 @@ TEST_F(DiagTest, JsonEscapesStrings) {
   r.to_json(os);
   const std::string json = os.str();
   EXPECT_NE(json.find("weird\\\"name\\\\with\\ncontrol"), std::string::npos);
+}
+
+TEST_F(DiagTest, NumberTokenClampsNonFiniteDoubles) {
+  // C++ streams print "inf"/"nan", which are not JSON.  The shared token
+  // renderer must clamp: infinities to +/-DBL_MAX, NaN to 0.
+  constexpr double inf = std::numeric_limits<double>::infinity();
+  EXPECT_EQ(diag::json_number_token(inf), "1.7976931348623157e308");
+  EXPECT_EQ(diag::json_number_token(-inf), "-1.7976931348623157e308");
+  EXPECT_EQ(diag::json_number_token(std::nan("")), "0");
+  EXPECT_EQ(diag::json_number_token(0.5), "0.5");
+  EXPECT_EQ(diag::json_number_token(-0.0), "-0");
+}
+
+TEST_F(DiagTest, NonFiniteGaugesExportStrictlyValidJson) {
+  // A saturated sat_count (or any runaway gauge) used to leak a bare `inf`
+  // token into the export; the strict parser shared with symcex-verify is
+  // the oracle that the whole document now parses.
+  diag::Registry r;
+  {
+    const diag::PhaseScope scope("check");
+    r.gauge_set("states.sat_count", std::numeric_limits<double>::infinity());
+    r.gauge_set("heuristic.score", std::nan(""));
+    r.gauge_set("depth.bias", -std::numeric_limits<double>::infinity());
+  }
+  std::ostringstream os;
+  r.to_json(os);
+  const std::string json = os.str();
+  EXPECT_EQ(json.find("inf"), std::string::npos);
+  EXPECT_EQ(json.find("nan"), std::string::npos);
+  const jsonmini::Value root = jsonmini::parse(json);
+  ASSERT_TRUE(root.is_object());
+  const jsonmini::Value* gauges =
+      root.find("phases")->find("check")->find("gauges");
+  ASSERT_NE(gauges, nullptr);
+  EXPECT_EQ(gauges->find("states.sat_count")->find("last")->number,
+            std::numeric_limits<double>::max());
+  EXPECT_EQ(gauges->find("heuristic.score")->find("last")->number, 0.0);
+  EXPECT_EQ(gauges->find("depth.bias")->find("last")->number,
+            -std::numeric_limits<double>::max());
+}
+
+TEST_F(DiagTest, JsonWriterDocumentRoundTripsThroughStrictParser) {
+  std::ostringstream os;
+  diag::JsonWriter w(os);
+  w.begin_object();
+  w.member("text", "quote \" slash \\ newline \n tab \t bell \x07 done");
+  w.member("big", std::uint64_t{18446744073709551615ull});
+  w.member("neg", std::int64_t{-42});
+  w.member("tiny", 5e-324);
+  w.member("flag", false);
+  w.key("nested");
+  w.begin_array();
+  w.value(1.5);
+  w.raw("{\"pre\": [true, null]}");
+  w.end_array();
+  w.end_object();
+
+  const jsonmini::Value root = jsonmini::parse(os.str());
+  EXPECT_EQ(root.find("text")->string,
+            "quote \" slash \\ newline \n tab \t bell \x07 done");
+  EXPECT_EQ(root.find("big")->number, 18446744073709551615.0);
+  EXPECT_EQ(root.find("neg")->number, -42.0);
+  EXPECT_EQ(root.find("tiny")->number, 5e-324);
+  EXPECT_FALSE(root.find("flag")->boolean);
+  ASSERT_EQ(root.find("nested")->array.size(), 2u);
+  EXPECT_TRUE(root.find("nested")->array[1].find("pre")->array[0].boolean);
 }
 
 TEST_F(DiagTest, ResetClearsMetricsButKeepsSources) {

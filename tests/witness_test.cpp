@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include "certify/certify.hpp"
 #include "core/checker.hpp"
 #include "core/witness.hpp"
 #include "models/models.hpp"
@@ -313,6 +314,37 @@ TEST(WitnessWalkRings, ThrowsOutsideTheFixpoint) {
   const auto rings = ck.eu_rings(m->manager().zero(), *m->label("zero"));
   EXPECT_THROW((void)wg.walk_rings(rings, *m->label("max")),
                std::invalid_argument);
+}
+
+TEST(WitnessWalkRings, NonMonotoneChainFailsAsCertificationError) {
+  // The onion rings of an EU fixpoint are an increasing chain; a chain
+  // where rings[0] does not imply rings[1] would make the binary search in
+  // min_ring_index return a wrong minimal index and silently corrupt the
+  // witness.  With certification enabled the full-chain scan must reject
+  // it as a recoverable CertificationError -- in every build type -- and
+  // the certificate has to name the broken link.
+  auto m = models::counter({.width = 2});
+  Checker ck(*m);
+  WitnessGenerator wg(ck);
+  const std::vector<bdd::Bdd> rings = {m->cur(0), !m->cur(0)};
+  const bool was_enabled = certify::enabled();
+  certify::set_enabled(true);
+  try {
+    (void)wg.walk_rings(rings, m->manager().one());
+    certify::set_enabled(was_enabled);
+    FAIL() << "non-monotone ring chain was accepted";
+  } catch (const certify::CertificationError& e) {
+    certify::set_enabled(was_enabled);
+    EXPECT_NE(std::string(e.what()).find("min_ring_index"),
+              std::string::npos);
+    ASSERT_FALSE(e.certificate().obligations.empty());
+    EXPECT_EQ(e.certificate().obligations.front().name,
+              "ring-chain-monotone");
+    EXPECT_FALSE(e.certificate().obligations.front().ok);
+  } catch (...) {
+    certify::set_enabled(was_enabled);
+    throw;
+  }
 }
 
 // ---------------------------------------------------------------------------

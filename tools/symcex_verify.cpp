@@ -1,0 +1,486 @@
+// symcex-verify -- standalone evidence-bundle checker.
+//
+// Re-validates a SymCeX evidence bundle (src/evidence) with ZERO
+// dependence on the engine: no BDD manager, no transition system, no
+// checker -- only this file and the strict std-only JSON parser in
+// json_mini.hpp.  That independence is the point: the bundle exports the
+// transition relation's raw conjunct list and every duty predicate as
+// concrete DNF covers, so the trace can be replayed and every semantic
+// duty re-checked by plain cube evaluation.  A verdict from this tool is
+// evidence about the *bundle*, not a restatement of the engine's claim.
+//
+// Checks, each with a stable failure name:
+//
+//   schema                 versioned shape, types, verdict/kind pairing
+//   cover[...]             literal well-formedness (var range, rails, bits)
+//   state-domain           trace rows match the variable table, bits 0/1
+//   transition[i->j]       every consecutive step satisfies EVERY conjunct
+//   cycle-closure          the loop-back edge is itself a transition
+//   duty:eg / duty:eu / duty:ex / duty:visits / duty:prefix-invariant
+//                          the semantic duties hold on the decoded states
+//   certificate[name]      every recorded obligation is discharged (ok)
+//
+// Exit status 0 iff every bundle named on the command line verifies; any
+// failure prints "symcex-verify: FAIL <name>: <detail>" and exits 1.
+
+#include <cstddef>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "json_mini.hpp"
+
+namespace {
+
+using symcex::jsonmini::Value;
+
+struct VerifyError {
+  std::string check;
+  std::string detail;
+};
+
+[[noreturn]] void fail(std::string check, std::string detail) {
+  throw VerifyError{std::move(check), std::move(detail)};
+}
+
+const Value& require_member(const Value& obj, const std::string& key,
+                            Value::Kind kind, const std::string& where) {
+  const Value* v = obj.find(key);
+  if (v == nullptr) fail("schema", where + ": missing member \"" + key + "\"");
+  if (v->kind != kind) {
+    fail("schema", where + ": member \"" + key + "\" has the wrong type");
+  }
+  return *v;
+}
+
+std::size_t as_index(const Value& v, const std::string& where) {
+  if (!v.is_number() || v.number < 0 ||
+      v.number != static_cast<double>(static_cast<std::uint64_t>(v.number))) {
+    fail("schema", where + ": expected a non-negative integer");
+  }
+  return static_cast<std::size_t>(v.number);
+}
+
+bool as_bit(const Value& v, const std::string& check,
+            const std::string& where) {
+  if (!v.is_number() || (v.number != 0.0 && v.number != 1.0)) {
+    fail(check, where + ": expected a 0/1 bit");
+  }
+  return v.number == 1.0;
+}
+
+struct Literal {
+  std::size_t var = 0;
+  std::size_t rail = 0;
+  bool value = false;
+};
+
+using Cube = std::vector<Literal>;
+using Cover = std::vector<Cube>;
+
+Cover parse_cover(const Value& v, std::size_t num_vars, bool allow_next_rail,
+                  const std::string& where) {
+  const Value& cubes = require_member(v, "cubes", Value::Kind::kArray, where);
+  Cover cover;
+  cover.reserve(cubes.array.size());
+  for (std::size_t c = 0; c < cubes.array.size(); ++c) {
+    const Value& cube = cubes.array[c];
+    const std::string cube_where = where + ".cubes[" + std::to_string(c) + "]";
+    if (!cube.is_array()) fail("cover[" + where + "]", cube_where + ": not an array");
+    Cube out;
+    out.reserve(cube.array.size());
+    for (const Value& lit : cube.array) {
+      if (!lit.is_array() || lit.array.size() != 3) {
+        fail("cover[" + where + "]",
+             cube_where + ": literal is not a [var, rail, value] triple");
+      }
+      Literal l;
+      l.var = as_index(lit.array[0], cube_where);
+      l.rail = as_index(lit.array[1], cube_where);
+      l.value = as_bit(lit.array[2], "cover[" + where + "]", cube_where);
+      if (l.var >= num_vars) {
+        fail("cover[" + where + "]",
+             cube_where + ": variable index " + std::to_string(l.var) +
+                 " out of range (" + std::to_string(num_vars) +
+                 " variables)");
+      }
+      if (l.rail > 1 || (l.rail == 1 && !allow_next_rail)) {
+        fail("cover[" + where + "]",
+             cube_where + ": invalid rail " + std::to_string(l.rail));
+      }
+      out.push_back(l);
+    }
+    cover.push_back(std::move(out));
+  }
+  return cover;
+}
+
+/// Evaluate a cover on a (current, next) assignment pair; `next` may be
+/// null for current-rail-only covers (predicates).
+bool eval_cover(const Cover& cover, const std::vector<bool>& cur,
+                const std::vector<bool>* next) {
+  for (const Cube& cube : cover) {
+    bool sat = true;
+    for (const Literal& l : cube) {
+      const bool bit = l.rail == 0 ? cur[l.var] : (*next)[l.var];
+      if (bit != l.value) {
+        sat = false;
+        break;
+      }
+    }
+    if (sat) return true;
+  }
+  return false;
+}
+
+std::vector<std::vector<bool>> parse_states(const Value& rows,
+                                            std::size_t num_vars,
+                                            const std::string& where) {
+  std::vector<std::vector<bool>> out;
+  out.reserve(rows.array.size());
+  for (std::size_t i = 0; i < rows.array.size(); ++i) {
+    const Value& row = rows.array[i];
+    const std::string row_where = where + "[" + std::to_string(i) + "]";
+    if (!row.is_array()) fail("state-domain", row_where + ": not an array");
+    if (row.array.size() != num_vars) {
+      fail("state-domain",
+           row_where + ": " + std::to_string(row.array.size()) +
+               " bits for " + std::to_string(num_vars) + " variables");
+    }
+    std::vector<bool> state;
+    state.reserve(num_vars);
+    for (const Value& bit : row.array) {
+      state.push_back(as_bit(bit, "state-domain", row_where));
+    }
+    out.push_back(std::move(state));
+  }
+  return out;
+}
+
+struct Duty {
+  std::string kind;
+  std::string label;
+  int invariant = -1;
+  int target = -1;
+  std::vector<int> fairness;
+};
+
+struct Summary {
+  std::string verdict;
+  std::string kind;
+  std::size_t steps = 0;
+  std::size_t conjuncts = 0;
+  std::size_t duties = 0;
+  std::size_t certificates = 0;
+};
+
+Summary verify_bundle(const Value& root) {
+  // -- schema -----------------------------------------------------------------
+  if (!root.is_object()) fail("schema", "top level is not an object");
+  const Value& version = require_member(root, "symcex_evidence_version",
+                                        Value::Kind::kNumber, "bundle");
+  if (version.number != 1.0) {
+    fail("schema", "unsupported symcex_evidence_version " +
+                       std::to_string(version.number));
+  }
+
+  const Value& model =
+      require_member(root, "model", Value::Kind::kObject, "bundle");
+  require_member(model, "name", Value::Kind::kString, "model");
+  const Value& variables =
+      require_member(model, "variables", Value::Kind::kArray, "model");
+  for (const Value& name : variables.array) {
+    if (!name.is_string()) fail("schema", "model.variables: non-string name");
+  }
+  const std::size_t num_vars = variables.array.size();
+  require_member(model, "fairness_count", Value::Kind::kNumber, "model");
+  const Value& schedule = require_member(model, "cluster_schedule",
+                                         Value::Kind::kObject, "model");
+  require_member(schedule, "threshold", Value::Kind::kNumber,
+                 "cluster_schedule");
+  require_member(schedule, "clusters", Value::Kind::kNumber,
+                 "cluster_schedule");
+  require_member(schedule, "hash", Value::Kind::kString, "cluster_schedule");
+  require_member(model, "annotations", Value::Kind::kObject, "model");
+
+  const Value& check =
+      require_member(root, "check", Value::Kind::kObject, "bundle");
+  require_member(check, "spec", Value::Kind::kString, "check");
+  const std::string verdict =
+      require_member(check, "verdict", Value::Kind::kString, "check").string;
+  const std::string kind =
+      require_member(check, "evidence_kind", Value::Kind::kString, "check")
+          .string;
+  require_member(check, "note", Value::Kind::kString, "check");
+  if (verdict != "true" && verdict != "false" && verdict != "unknown") {
+    fail("schema", "check.verdict \"" + verdict + "\" is not a verdict");
+  }
+  if (kind != "witness" && kind != "counterexample" && kind != "partial" &&
+      kind != "none") {
+    fail("schema", "check.evidence_kind \"" + kind + "\" is unknown");
+  }
+  if (kind == "witness" && verdict != "true") {
+    fail("schema", "a witness requires verdict \"true\", got \"" + verdict +
+                       "\"");
+  }
+  if (kind == "counterexample" && verdict != "false") {
+    fail("schema", "a counterexample requires verdict \"false\", got \"" +
+                       verdict + "\"");
+  }
+  if (kind == "partial" && verdict != "unknown") {
+    fail("schema", "partial evidence requires verdict \"unknown\", got \"" +
+                       verdict + "\"");
+  }
+
+  // -- trace ------------------------------------------------------------------
+  const Value& trace =
+      require_member(root, "trace", Value::Kind::kObject, "bundle");
+  const auto prefix = parse_states(
+      require_member(trace, "prefix", Value::Kind::kArray, "trace"), num_vars,
+      "trace.prefix");
+  const auto cycle = parse_states(
+      require_member(trace, "cycle", Value::Kind::kArray, "trace"), num_vars,
+      "trace.cycle");
+  std::vector<std::vector<bool>> states = prefix;
+  states.insert(states.end(), cycle.begin(), cycle.end());
+  const std::size_t cycle_start = prefix.size();
+  if (kind == "none" && !states.empty()) {
+    fail("state-domain", "evidence_kind \"none\" with a non-empty trace");
+  }
+  if (kind != "none" && states.empty()) {
+    fail("state-domain",
+         "evidence_kind \"" + kind + "\" requires a non-empty trace");
+  }
+  if (kind == "partial" && !cycle.empty()) {
+    fail("state-domain", "partial evidence must not claim a cycle");
+  }
+
+  // -- covers -----------------------------------------------------------------
+  const Value& relation = require_member(root, "transition_relation",
+                                         Value::Kind::kObject, "bundle");
+  const Value& conjuncts_json =
+      require_member(relation, "conjuncts", Value::Kind::kArray,
+                     "transition_relation");
+  std::vector<Cover> conjuncts;
+  conjuncts.reserve(conjuncts_json.array.size());
+  for (std::size_t i = 0; i < conjuncts_json.array.size(); ++i) {
+    conjuncts.push_back(parse_cover(conjuncts_json.array[i], num_vars, true,
+                                    "conjunct " + std::to_string(i)));
+  }
+
+  const Value& predicates_json =
+      require_member(root, "predicates", Value::Kind::kArray, "bundle");
+  std::vector<Cover> predicates;
+  predicates.reserve(predicates_json.array.size());
+  for (std::size_t i = 0; i < predicates_json.array.size(); ++i) {
+    predicates.push_back(parse_cover(predicates_json.array[i], num_vars,
+                                     false,
+                                     "predicate " + std::to_string(i)));
+  }
+
+  // -- transitions ------------------------------------------------------------
+  const auto check_edge = [&](std::size_t from, std::size_t to,
+                              const std::string& check_name) {
+    for (std::size_t c = 0; c < conjuncts.size(); ++c) {
+      if (!eval_cover(conjuncts[c], states[from], &states[to])) {
+        fail(check_name, "step " + std::to_string(from) + " -> " +
+                             std::to_string(to) +
+                             " violates transition conjunct " +
+                             std::to_string(c));
+      }
+    }
+  };
+  for (std::size_t i = 0; i + 1 < states.size(); ++i) {
+    check_edge(i, i + 1,
+               "transition[" + std::to_string(i) + "->" +
+                   std::to_string(i + 1) + "]");
+  }
+  if (!cycle.empty()) {
+    check_edge(states.size() - 1, cycle_start, "cycle-closure");
+  }
+
+  // -- duties -----------------------------------------------------------------
+  const Value& duties_json =
+      require_member(root, "duties", Value::Kind::kArray, "bundle");
+  std::vector<Duty> duties;
+  const auto predicate_at = [&](const Value& v,
+                                const std::string& where) -> const Cover& {
+    const std::size_t index = as_index(v, where);
+    if (index >= predicates.size()) {
+      fail("schema", where + ": predicate index " + std::to_string(index) +
+                         " out of range");
+    }
+    return predicates[index];
+  };
+  const auto satisfies = [&](std::size_t state, const Cover& predicate) {
+    return eval_cover(predicate, states[state], nullptr);
+  };
+  for (std::size_t d = 0; d < duties_json.array.size(); ++d) {
+    const Value& duty = duties_json.array[d];
+    const std::string where = "duties[" + std::to_string(d) + "]";
+    const std::string duty_kind =
+        require_member(duty, "kind", Value::Kind::kString, where).string;
+
+    if (duty_kind == "eg") {
+      const Cover& invariant = predicate_at(
+          require_member(duty, "invariant", Value::Kind::kNumber, where),
+          where);
+      const Value& fairness =
+          require_member(duty, "fairness", Value::Kind::kArray, where);
+      for (std::size_t i = 0; i < states.size(); ++i) {
+        if (!satisfies(i, invariant)) {
+          fail("duty:eg",
+               "EG invariant fails at step " + std::to_string(i));
+        }
+      }
+      if (cycle.empty()) fail("duty:eg", "EG evidence requires a cycle");
+      for (std::size_t k = 0; k < fairness.array.size(); ++k) {
+        const Cover& constraint = predicate_at(fairness.array[k], where);
+        bool visited = false;
+        for (std::size_t i = cycle_start; i < states.size() && !visited; ++i) {
+          visited = satisfies(i, constraint);
+        }
+        if (!visited) {
+          fail("duty:eg", "fairness constraint " + std::to_string(k) +
+                              " is never visited on the cycle");
+        }
+      }
+    } else if (duty_kind == "eu") {
+      const Cover& invariant = predicate_at(
+          require_member(duty, "invariant", Value::Kind::kNumber, where),
+          where);
+      const Cover& target = predicate_at(
+          require_member(duty, "target", Value::Kind::kNumber, where), where);
+      std::size_t hit = states.size();
+      for (std::size_t i = 0; i < states.size(); ++i) {
+        if (satisfies(i, target)) {
+          hit = i;
+          break;
+        }
+      }
+      if (hit == states.size()) {
+        fail("duty:eu", "EU target is never reached");
+      }
+      for (std::size_t i = 0; i < hit; ++i) {
+        if (!satisfies(i, invariant)) {
+          fail("duty:eu", "EU invariant fails at step " + std::to_string(i) +
+                              " before the target");
+        }
+      }
+    } else if (duty_kind == "ex") {
+      const Cover& target = predicate_at(
+          require_member(duty, "target", Value::Kind::kNumber, where), where);
+      if (states.size() < 2 || !satisfies(1, target)) {
+        fail("duty:ex", "the second state does not satisfy the EX target");
+      }
+    } else if (duty_kind == "visits") {
+      const std::string label =
+          require_member(duty, "label", Value::Kind::kString, where).string;
+      const Cover& predicate = predicate_at(
+          require_member(duty, "predicate", Value::Kind::kNumber, where),
+          where);
+      bool visited = false;
+      for (std::size_t i = 0; i < states.size() && !visited; ++i) {
+        visited = satisfies(i, predicate);
+      }
+      if (!visited) {
+        fail("duty:visits", "no trace state satisfies \"" + label + "\"");
+      }
+    } else if (duty_kind == "prefix-invariant") {
+      const Cover& invariant = predicate_at(
+          require_member(duty, "invariant", Value::Kind::kNumber, where),
+          where);
+      for (std::size_t i = 0; i < cycle_start; ++i) {
+        if (!satisfies(i, invariant)) {
+          fail("duty:prefix-invariant",
+               "prefix invariant fails at step " + std::to_string(i));
+        }
+      }
+    } else {
+      fail("schema", where + ": unknown duty kind \"" + duty_kind + "\"");
+    }
+  }
+
+  // -- certificates -----------------------------------------------------------
+  const Value& certificates =
+      require_member(root, "certificates", Value::Kind::kArray, "bundle");
+  for (const Value& cert : certificates.array) {
+    if (!cert.is_object()) fail("schema", "certificates: entry not an object");
+    const std::string name =
+        require_member(cert, "name", Value::Kind::kString, "certificate")
+            .string;
+    const Value& obligations = require_member(
+        cert, "obligations", Value::Kind::kArray, "certificate " + name);
+    for (const Value& o : obligations.array) {
+      if (!o.is_object()) {
+        fail("schema", "certificate " + name + ": obligation not an object");
+      }
+      const std::string oname =
+          require_member(o, "name", Value::Kind::kString, "obligation").string;
+      const Value& ok =
+          require_member(o, "ok", Value::Kind::kBool, "obligation " + oname);
+      const std::string detail =
+          require_member(o, "detail", Value::Kind::kString,
+                         "obligation " + oname)
+              .string;
+      if (!ok.boolean) {
+        fail("certificate[" + name + "]",
+             "recorded obligation \"" + oname + "\" failed" +
+                 (detail.empty() ? "" : ": " + detail));
+      }
+    }
+  }
+
+  Summary s;
+  s.verdict = verdict;
+  s.kind = kind;
+  s.steps = states.size();
+  s.conjuncts = conjuncts.size();
+  s.duties = duties_json.array.size();
+  s.certificates = certificates.array.size();
+  return s;
+}
+
+int verify_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::cerr << "symcex-verify: cannot read " << path << "\n";
+    return 1;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  try {
+    const Value root = symcex::jsonmini::parse(buffer.str());
+    const Summary s = verify_bundle(root);
+    std::cout << "OK " << path << ": " << s.verdict << " (" << s.kind << "), "
+              << s.steps << " steps, " << s.conjuncts << " conjuncts, "
+              << s.duties << " duties, " << s.certificates
+              << " certificates\n";
+    return 0;
+  } catch (const VerifyError& e) {
+    std::cerr << "symcex-verify: FAIL " << e.check << ": " << e.detail
+              << " (" << path << ")\n";
+    return 1;
+  } catch (const std::exception& e) {
+    std::cerr << "symcex-verify: FAIL json: " << e.what() << " (" << path
+              << ")\n";
+    return 1;
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::cerr << "usage: symcex-verify BUNDLE.json [BUNDLE.json ...]\n";
+    return 2;
+  }
+  int status = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (verify_file(argv[i]) != 0) status = 1;
+  }
+  return status;
+}
