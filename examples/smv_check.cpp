@@ -4,6 +4,8 @@
 //   smv_check [options]               run on the built-in demo model
 //
 // options:
+//   --lint          run the static linter (src/analyze) and exit: findings
+//                   print as file:line diagnostics, exit 1 when any exist
 //   --shorten       post-process traces with the Section 9 loop cutter
 //   --simulate N    print a random N-step execution before checking
 //   --seed S        RNG seed for --simulate (default 1)
@@ -25,6 +27,7 @@
 #include <sstream>
 #include <string>
 
+#include "analyze/analyze.hpp"
 #include "core/checker.hpp"
 #include "core/explain.hpp"
 #include "core/trace_util.hpp"
@@ -76,6 +79,7 @@ SPEC AG EF floor = 0
 int main(int argc, char** argv) {
   using namespace symcex;
 
+  bool lint_only = false;
   bool shorten_traces = false;
   std::size_t simulate_steps = 0;
   std::uint64_t seed = 1;
@@ -84,7 +88,9 @@ int main(int argc, char** argv) {
   std::string path;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (arg == "--shorten") {
+    if (arg == "--lint") {
+      lint_only = true;
+    } else if (arg == "--shorten") {
       shorten_traces = true;
     } else if (arg == "--simulate" && i + 1 < argc) {
       simulate_steps = std::strtoull(argv[++i], nullptr, 10);
@@ -95,8 +101,8 @@ int main(int argc, char** argv) {
     } else if (arg == "--evidence" && i + 1 < argc) {
       evidence_dir = argv[++i];
     } else if (!arg.empty() && arg[0] == '-') {
-      std::cerr << "usage: smv_check [--shorten] [--simulate N] [--seed S] "
-                   "[--dot FILE] [--evidence DIR] [model.smv]\n";
+      std::cerr << "usage: smv_check [--lint] [--shorten] [--simulate N] "
+                   "[--seed S] [--dot FILE] [--evidence DIR] [model.smv]\n";
       return 2;
     } else {
       path = arg;
@@ -116,6 +122,17 @@ int main(int argc, char** argv) {
   } else {
     std::cout << "(no input file given; checking the built-in demo model)\n\n";
     source = kDemo;
+  }
+
+  if (lint_only) {
+    const std::string name = path.empty() ? "<demo>" : path;
+    const analyze::LintReport report = analyze::Linter{}.run(source);
+    if (report.clean()) {
+      std::cout << name << ": clean\n";
+      return 0;
+    }
+    std::cout << report.to_string(name);
+    return 1;
   }
 
   try {
@@ -176,6 +193,21 @@ int main(int argc, char** argv) {
           domain += value.to_string();
         }
         bundle.add_annotation("domain:" + var.name, domain);
+      }
+      // COI provenance: when the check ran under a cone-of-influence
+      // reduction (SYMCEX_COI=1), record which variables were dropped and
+      // the dependency-graph fingerprint the cone was derived from.  The
+      // exported trace itself is always the re-inflated full-model trace.
+      if (const analyze::Reduction* reduction = checker.reduction()) {
+        std::string dropped;
+        for (const std::string& name : reduction->dropped_names()) {
+          if (!dropped.empty()) dropped += ", ";
+          dropped += name;
+        }
+        bundle.add_annotation("coi:dropped_vars", dropped);
+        std::ostringstream fp;
+        fp << std::hex << reduction->fingerprint();
+        bundle.add_annotation("coi:fingerprint", fp.str());
       }
       if (evidence::emit_if_configured(
               bundle, checker.options().evidence_dir,

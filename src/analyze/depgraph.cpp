@@ -1,0 +1,69 @@
+// Variable dependency graph mined from per-conjunct supports (DESIGN.md
+// §12).  Works on any finalized TransitionSystem -- the SMV front end,
+// the bundled model builders and hand-built systems all end up here,
+// because the rail layout (state var v <-> BDD vars 2v/2v+1) is the one
+// invariant every builder shares.
+
+#include <algorithm>
+#include <set>
+
+#include "analyze/analyze.hpp"
+
+namespace symcex::analyze {
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ULL;
+constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+
+void fnv_mix(std::uint64_t& h, std::uint64_t value) {
+  // Hash the value bytewise so ids and set sizes cannot alias.
+  for (int i = 0; i < 8; ++i) {
+    h ^= (value >> (8 * i)) & 0xffU;
+    h *= kFnvPrime;
+  }
+}
+
+void fnv_mix_set(std::uint64_t& h, const std::vector<ts::VarId>& set) {
+  fnv_mix(h, set.size());
+  for (const ts::VarId v : set) fnv_mix(h, v);
+}
+
+}  // namespace
+
+std::uint64_t DepGraph::fingerprint() const {
+  std::uint64_t h = kFnvOffset;
+  fnv_mix(h, num_vars);
+  fnv_mix(h, parts.size());
+  for (const PartSupport& p : parts) {
+    fnv_mix_set(h, p.reads);
+    fnv_mix_set(h, p.writes);
+  }
+  return h;
+}
+
+DepGraph build_dep_graph(const ts::TransitionSystem& ts) {
+  DepGraph g;
+  g.num_vars = ts.num_state_vars();
+  g.parts.reserve(ts.trans_parts().size());
+  std::vector<std::set<ts::VarId>> deps(g.num_vars);
+  for (const bdd::Bdd& part : ts.trans_parts()) {
+    DepGraph::PartSupport ps;
+    for (const std::uint32_t x : part.support()) {
+      const auto v = static_cast<ts::VarId>(x / 2);
+      (x % 2 == 0 ? ps.reads : ps.writes).push_back(v);
+      if (ps.all.empty() || ps.all.back() != v) ps.all.push_back(v);
+    }
+    // support() is ascending and the rails interleave, so reads/writes and
+    // the de-duplicated union above are already sorted.
+    for (const ts::VarId w : ps.writes) {
+      deps[w].insert(ps.reads.begin(), ps.reads.end());
+    }
+    g.parts.push_back(std::move(ps));
+  }
+  g.deps.reserve(g.num_vars);
+  for (const auto& d : deps) g.deps.emplace_back(d.begin(), d.end());
+  return g;
+}
+
+}  // namespace symcex::analyze

@@ -1,0 +1,252 @@
+// The model linter (DESIGN.md §12).
+//
+// Two layers of checks over one SMV source:
+//
+//   * AST passes on the flattened module -- unused variables (liveness
+//     fixpoint rooted in SPEC/TRANS/INIT/INVAR/FAIRNESS, flowing from
+//     assigned variables into the variables their right-hand sides read)
+//     and uninitialized reads (initial-time expressions reading a variable
+//     with no initial-value constraint);
+//
+//   * compiler passes -- the elaborator's findings sink reports
+//     unreachable case arms, range-dead comparisons and provably constant
+//     next-state functions, and any SmvError (duplicate declarations,
+//     DEFINE cycles, enum-literal shadowing, type errors) is converted to
+//     one error-severity finding instead of escaping as an exception.
+//
+// Findings are deduplicated (the compiler may evaluate one expression on
+// both rails) and sorted by line for stable, diffable output.
+
+#include <algorithm>
+#include <ostream>
+#include <set>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "analyze/analyze.hpp"
+#include "diag/json.hpp"
+#include "diag/metrics.hpp"
+#include "smv/ast.hpp"
+
+namespace symcex::analyze {
+
+namespace {
+
+using smv::detail::Assign;
+using smv::detail::EK;
+using smv::detail::Expr;
+using smv::detail::ExprP;
+using smv::detail::Module;
+
+/// Call `fn` on every identifier occurrence in the expression tree.
+template <typename Fn>
+void walk_idents(const ExprP& e, Fn&& fn) {
+  if (e->kind == EK::kIdent) fn(*e);
+  for (const auto& k : e->kids) walk_idents(k, fn);
+}
+
+/// Variables an expression reads, with DEFINE references expanded
+/// transitively (cycle-tolerant: a cyclic macro is reported by the
+/// compiler pass; here it must just not loop).
+void collect_var_reads(const ExprP& e,
+                       const std::unordered_map<std::string, ExprP>& defines,
+                       const std::unordered_set<std::string>& vars,
+                       std::unordered_set<std::string>* expanding,
+                       std::set<std::string>* out) {
+  walk_idents(e, [&](const Expr& id) {
+    if (vars.contains(id.name)) {
+      out->insert(id.name);
+      return;
+    }
+    const auto it = defines.find(id.name);
+    if (it != defines.end() && expanding->insert(id.name).second) {
+      collect_var_reads(it->second, defines, vars, expanding, out);
+      expanding->erase(id.name);
+    }
+  });
+}
+
+struct AstIndex {
+  std::unordered_set<std::string> vars;
+  std::unordered_map<std::string, std::size_t> var_lines;
+  std::unordered_map<std::string, ExprP> defines;
+
+  explicit AstIndex(const Module& m) {
+    for (const auto& d : m.vars) {
+      vars.insert(d.name);
+      var_lines.emplace(d.name, d.line);
+    }
+    for (const auto& d : m.defines) defines.emplace(d.name, d.rhs);
+  }
+
+  [[nodiscard]] std::set<std::string> reads(const ExprP& e) const {
+    std::set<std::string> out;
+    std::unordered_set<std::string> expanding;
+    collect_var_reads(e, defines, vars, &expanding, &out);
+    return out;
+  }
+};
+
+/// Unused variables: a variable is live when a SPEC, TRANS, INIT, INVAR or
+/// FAIRNESS expression reads it, or when the right-hand side of an
+/// assignment to a live variable reads it.  Everything else is dead
+/// weight -- state the model carries but nothing observes.
+void lint_unused(const Module& m, const AstIndex& index,
+                 std::vector<Finding>* out) {
+  std::set<std::string> live;
+  const auto root = [&](const ExprP& e) {
+    const auto reads = index.reads(e);
+    live.insert(reads.begin(), reads.end());
+  };
+  for (const auto& e : m.specs) root(e);
+  for (const auto& e : m.trans) root(e);
+  for (const auto& e : m.init) root(e);
+  for (const auto& e : m.invar) root(e);
+  for (const auto& e : m.fairness) root(e);
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const auto& a : m.assigns) {
+      if (!live.contains(a.var)) continue;
+      for (const auto& r : index.reads(a.rhs)) {
+        if (live.insert(r).second) changed = true;
+      }
+    }
+  }
+  for (const auto& d : m.vars) {
+    if (live.contains(d.name)) continue;
+    out->push_back(Finding{"unused-variable",
+                           "variable '" + d.name +
+                               "' is never read by any spec, constraint or "
+                               "live assignment",
+                           d.line, false});
+  }
+}
+
+/// Uninitialized reads: initial-time expressions (init(v) right-hand
+/// sides and INIT section constraints) evaluating a variable whose
+/// initial value nothing constrains.  Such a read is well-defined but
+/// almost always a modelling bug -- the initial value is an arbitrary
+/// nondeterministic choice.
+void lint_uninitialized(const Module& m, const AstIndex& index,
+                        std::vector<Finding>* out) {
+  std::unordered_set<std::string> constrained;
+  for (const auto& a : m.assigns) {
+    if (a.kind == Assign::Kind::kInit || a.kind == Assign::Kind::kCurrent) {
+      constrained.insert(a.var);
+    }
+  }
+  // Variables appearing in INIT/INVAR constraints are (partially)
+  // constrained at initial time; reading them is deliberate.
+  for (const auto& e : m.init) {
+    for (const auto& r : index.reads(e)) constrained.insert(r);
+  }
+  for (const auto& e : m.invar) {
+    for (const auto& r : index.reads(e)) constrained.insert(r);
+  }
+
+  const auto check_expr = [&](const ExprP& e, std::size_t line) {
+    for (const auto& r : index.reads(e)) {
+      if (constrained.contains(r)) continue;
+      out->push_back(Finding{"uninitialized-read",
+                             "initial-time expression reads '" + r +
+                                 "', whose initial value is unconstrained",
+                             line, false});
+    }
+  };
+  for (const auto& a : m.assigns) {
+    if (a.kind == Assign::Kind::kInit) check_expr(a.rhs, a.line);
+  }
+  // INIT sections were folded into `constrained` above, so a read inside
+  // one only fires for variables constrained nowhere at all -- which the
+  // fold prevents; init(v) right-hand sides are the real surface.
+}
+
+}  // namespace
+
+std::string LintReport::to_string(const std::string& filename) const {
+  std::string out;
+  for (const Finding& f : findings) {
+    out += filename + ":" + std::to_string(f.line) + ": " +
+           (f.error ? "error" : "warning") + ": [" + f.check + "] " +
+           f.message + "\n";
+  }
+  return out;
+}
+
+void LintReport::write_json(std::ostream& os,
+                            const std::string& filename) const {
+  diag::JsonWriter w(os);
+  w.begin_object();
+  w.member("file", filename);
+  w.member("clean", clean());
+  w.key("findings");
+  w.begin_array();
+  for (const Finding& f : findings) {
+    w.begin_object();
+    w.member("check", f.check);
+    w.member("severity", f.error ? "error" : "warning");
+    w.member("line", static_cast<std::int64_t>(f.line));
+    w.member("message", f.message);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  os << "\n";
+}
+
+LintReport Linter::run(const std::string& source) const {
+  LintReport report;
+  auto& findings = report.findings;
+
+  // Syntax first: without a flattened AST nothing else can run.
+  std::unique_ptr<Module> flat;
+  try {
+    const smv::detail::Program prog = smv::detail::parse_program(source);
+    flat = std::make_unique<Module>(smv::detail::flatten_program(prog));
+  } catch (const smv::SmvError& e) {
+    findings.push_back(Finding{"parse-error", e.what(), e.line(), true});
+  }
+
+  if (flat != nullptr) {
+    const AstIndex index(*flat);
+    lint_unused(*flat, index, &findings);
+    lint_uninitialized(*flat, index, &findings);
+
+    // Semantic passes ride the elaborator; duplicate declarations, DEFINE
+    // cycles, shadowed enum literals and type errors surface as SmvError.
+    smv::CompileOptions options;
+    options.fold_constants = false;  // lint must not rewrite the model
+    options.findings = &findings;
+    try {
+      (void)smv::compile(source, options);
+    } catch (const smv::SmvError& e) {
+      findings.push_back(Finding{"compile-error", e.what(), e.line(), true});
+    }
+  }
+
+  // The compiler may evaluate one expression on both rails (INVAR,
+  // combinational assignments), duplicating its findings; collapse them
+  // and sort by source position for stable output.
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) {
+              if (a.line != b.line) return a.line < b.line;
+              if (a.check != b.check) return a.check < b.check;
+              return a.message < b.message;
+            });
+  findings.erase(std::unique(findings.begin(), findings.end(),
+                             [](const Finding& a, const Finding& b) {
+                               return a.line == b.line && a.check == b.check &&
+                                      a.message == b.message;
+                             }),
+                 findings.end());
+  if (diag::enabled() && !findings.empty()) {
+    diag::Registry::global().add_in("analyze", "lint_findings",
+                                    findings.size());
+  }
+  return report;
+}
+
+}  // namespace symcex::analyze

@@ -1,5 +1,6 @@
 #include "core/checker.hpp"
 
+#include <cstdint>
 #include <stdexcept>
 #include <utility>
 
@@ -10,12 +11,105 @@ namespace symcex::core {
 Checker::Checker(ts::TransitionSystem& ts, const CheckOptions& options)
     : ts_(ts),
       options_(options),
-      context_(ts, options.image_method, options.use_care_set) {
+      context_(ts, options.image_method, options.use_care_set),
+      coi_requested_(options.coi.value_or(diag::env_flag("SYMCEX_COI"))) {
   if (!ts.finalized()) {
     throw std::invalid_argument("Checker: transition system not finalized");
   }
   if (options.reorder.has_value()) {
     ts.manager().set_auto_reorder(*options.reorder);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Cone of influence (DESIGN.md §12)
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Resolve every atom of `f` to its state set (the cone seeds).  Unknown
+/// atoms are skipped here: states_enf reports them with its own error.
+void collect_atom_seeds(const Checker& checker, const ctl::Formula::Ptr& f,
+                        std::vector<bdd::Bdd>* out) {
+  if (f == nullptr) return;
+  if (f->kind() == ctl::Kind::kAtom) {
+    try {
+      out->push_back(checker.resolve_atom(f->name()));
+    } catch (const std::invalid_argument&) {
+      // fall through to the checker's own diagnostics
+    }
+    return;
+  }
+  collect_atom_seeds(checker, f->lhs(), out);
+  collect_atom_seeds(checker, f->rhs(), out);
+}
+
+}  // namespace
+
+void Checker::prepare(const ctl::Formula::Ptr& f) {
+  if (!coi_requested_) return;
+  std::vector<bdd::Bdd> seeds;
+  collect_atom_seeds(*this, f, &seeds);
+  prepare(seeds);
+}
+
+void Checker::prepare(const std::vector<bdd::Bdd>& seeds) {
+  if (!coi_requested_) return;
+  if (coi_seed_vars_.empty()) {
+    coi_seed_vars_.assign(ts_.num_state_vars(), false);
+  }
+  bool grew = false;
+  for (const bdd::Bdd& s : seeds) {
+    if (s.is_null()) continue;
+    bool adds = false;
+    for (const std::uint32_t b : s.support()) {
+      const ts::VarId v = b / 2;
+      if (v < coi_seed_vars_.size() && !coi_seed_vars_[v]) {
+        coi_seed_vars_[v] = true;
+        adds = true;
+      }
+    }
+    // Keep only seeds that widened the variable set: the cone closure
+    // reads supports, so a support-subsumed predicate adds nothing.
+    if (adds) coi_seeds_.push_back(s);
+    grew = grew || adds;
+  }
+  if (coi_prepared_ && !grew) return;  // cone unchanged since last install
+  coi_prepared_ = true;
+
+  if (depgraph_ == nullptr) {
+    depgraph_ =
+        std::make_unique<analyze::DepGraph>(analyze::build_dep_graph(ts_));
+  }
+  analyze::Cone cone = analyze::cone_of_influence(ts_, *depgraph_, coi_seeds_);
+  if (reduction_ != nullptr && cone.dropped == reduction_->cone().dropped) {
+    return;  // the grown seeds landed inside the existing cone
+  }
+  const bool had_reduction = reduction_ != nullptr;
+  if (!cone.reduces()) {
+    reduction_.reset();
+    context_.set_reduction(nullptr);
+  } else {
+    const std::size_t full_clusters = ts_.trans_clusters().size();
+    reduction_ =
+        std::make_unique<analyze::Reduction>(ts_, std::move(cone), *depgraph_);
+    context_.set_reduction(reduction_.get());
+    if (diag::enabled()) {
+      auto& r = diag::Registry::global();
+      const auto& c = reduction_->cone();
+      r.add_in("analyze", "coi_installs", 1);
+      r.add_in("analyze", "coi_vars_dropped", c.dropped.size());
+      const std::size_t reduced = reduction_->clusters().size();
+      r.add_in("analyze", "coi_clusters_dropped",
+               full_clusters > reduced ? full_clusters - reduced : 0);
+    }
+  }
+  if (had_reduction || reduction_ != nullptr) {
+    // Results memoized under a different relation view are not reusable:
+    // each check must run entirely under one reduction.
+    memo_.clear();
+    faireg_memo_.clear();
+    fair_ = bdd::Bdd();
   }
 }
 
@@ -37,6 +131,7 @@ bdd::Bdd Checker::states(const ctl::Formula::Ptr& f) {
         "restricted CTL* fragment): " +
         ctl::to_string(f));
   }
+  prepare(f);
   const diag::PhaseScope phase("check");
   return states_enf(ctl::to_existential_normal_form(f));
 }

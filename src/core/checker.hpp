@@ -20,11 +20,13 @@
 #pragma once
 
 #include <cstddef>
+#include <memory>
 #include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "analyze/analyze.hpp"
 #include "bdd/bdd.hpp"
 #include "ctl/formula.hpp"
 #include "guard/guard.hpp"
@@ -47,6 +49,13 @@ struct CheckOptions {
   /// sifting; see src/order and DESIGN.md §10).  Unset reads
   /// SYMCEX_REORDER, which the manager sampled at construction.
   std::optional<bool> reorder;
+  /// Restrict every fixpoint to the cone of influence of the property
+  /// under check (src/analyze; DESIGN.md §12): transition conjuncts whose
+  /// support is disjoint from the cone are dropped before any sweep runs.
+  /// Witness traces are re-inflated to full-model traces before
+  /// certification, which always replays against the raw unreduced
+  /// relation.  Unset reads SYMCEX_COI.
+  std::optional<bool> coi;
   /// Directory evidence bundles for checked results are written to.  The
   /// checker core never writes files itself; this field is plumbing for
   /// the drivers (examples/smv_check, tests) which pass it to
@@ -146,6 +155,24 @@ class Checker {
   /// Resolve an atomic proposition to a state set (label or variable).
   [[nodiscard]] bdd::Bdd resolve_atom(const std::string& name) const;
 
+  // -- cone of influence (DESIGN.md §12) -------------------------------------
+
+  /// Grow the cone of influence to cover the atoms of `f` and (re)install
+  /// the reduction before its fixpoints run.  No-op unless COI is enabled
+  /// (CheckOptions::coi / SYMCEX_COI).  The seed set only ever grows, so
+  /// checking several properties on one Checker stays sound: each check
+  /// runs under a cone covering every property seen so far.  Called
+  /// automatically by states()/holds()/check(), Explainer::explain and
+  /// check_invariant; exposed for drivers that want the cone staged up
+  /// front.  Installing or replacing a reduction clears the memo caches.
+  void prepare(const ctl::Formula::Ptr& f);
+  /// As above, seeding from explicit state predicates (their supports).
+  void prepare(const std::vector<bdd::Bdd>& seeds);
+  /// The installed reduction; nullptr when COI is off or nothing drops.
+  [[nodiscard]] const analyze::Reduction* reduction() const {
+    return reduction_.get();
+  }
+
   /// As states(), but the formula must already be in existential normal
   /// form (only !, &, |, xor, EX, EU, EG over atoms); skips the rewrite.
   /// Used by the explainers, which work on ENF subformulas directly.
@@ -195,6 +222,16 @@ class Checker {
   CheckOptions options_;
   EvalContext context_;
   CheckStats stats_;
+  // Cone-of-influence state.  The dependency graph is model-fixed and
+  // built lazily; seeds accumulate across prepare() calls (one Checker may
+  // serve several properties) and the reduction is rebuilt only when the
+  // cone actually changes.
+  bool coi_requested_;
+  std::unique_ptr<analyze::DepGraph> depgraph_;
+  std::vector<bdd::Bdd> coi_seeds_;
+  std::vector<bool> coi_seed_vars_;  // union of seed supports, by VarId
+  bool coi_prepared_ = false;        // prepare() ran at least once
+  std::unique_ptr<analyze::Reduction> reduction_;
   bdd::Bdd fair_;  // cache of fair_states()
   // Keyed on shared_ptr (not raw pointer): holding the node alive keeps
   // its address from being recycled by a later formula's allocation.

@@ -14,6 +14,16 @@ EvalContext::EvalContext(ts::TransitionSystem& ts, ts::ImageMethod method,
       care_requested_(
           use_care_set.value_or(diag::env_flag("SYMCEX_CARE_SET"))) {}
 
+void EvalContext::set_reduction(const analyze::Reduction* reduction) {
+  if (reduction_ == reduction) return;
+  reduction_ = reduction;
+  // The care set and the restricted relation copies were derived from the
+  // previous relation view; rebuild lazily on the next sweep.
+  care_ready_ = false;
+  care_on_ = false;
+  care_ = ts::DontCare{};
+}
+
 bool EvalContext::care_active() {
   ensure_care();
   return care_on_;
@@ -36,7 +46,11 @@ void EvalContext::ensure_care() {
   auto& r = diag::Registry::global();
   try {
     const diag::PhaseScope phase("care");
-    const bdd::Bdd& reach = ts_.reachable();
+    // Under a COI reduction the care set is the reduced reachable states:
+    // they are closed under the reduced relation, which is what every
+    // sweep below consumes.
+    const bdd::Bdd& reach =
+        reduction_ != nullptr ? reduction_->reachable() : ts_.reachable();
     if (reach.is_false() || reach == ts_.manager().one()) {
       // Empty: no state is reachable, nothing to evaluate on (and minimize
       // requires a satisfiable care set).  Full: restriction is the
@@ -55,12 +69,16 @@ void EvalContext::ensure_care() {
     // when it is actually smaller.  Support never grows, so the
     // early-quantification schedules stay valid for the restricted copies.
     if (method_ == ts::ImageMethod::kMonolithic) {
-      before = ts_.trans().dag_size();
-      const bdd::Bdd reduced = ts_.trans().minimize(reach);
-      dc.trans = reduced.dag_size() <= before ? reduced : ts_.trans();
+      const bdd::Bdd& exact =
+          reduction_ != nullptr ? reduction_->trans() : ts_.trans();
+      before = exact.dag_size();
+      const bdd::Bdd reduced = exact.minimize(reach);
+      dc.trans = reduced.dag_size() <= before ? reduced : exact;
       after = dc.trans.dag_size();
     } else {
-      for (const auto& c : ts_.trans_clusters()) {
+      const std::vector<bdd::Bdd>& clusters =
+          reduction_ != nullptr ? reduction_->clusters() : ts_.trans_clusters();
+      for (const auto& c : clusters) {
         const bdd::Bdd reduced = c.minimize(reach);
         before += c.dag_size();
         dc.clusters.push_back(reduced.dag_size() <= c.dag_size() ? reduced
@@ -89,18 +107,24 @@ void EvalContext::ensure_care() {
 
 bdd::Bdd EvalContext::image(const bdd::Bdd& states) {
   ensure_care();
-  if (!care_on_) return ts_.image(states, method_);
 #ifndef NDEBUG
   // The exactness of the restricted image rests on the operand being
   // reachable (see ts::DontCare); every core call site satisfies this.
-  assert(states.implies(care_.set) &&
+  assert((!care_on_ || states.implies(care_.set)) &&
          "EvalContext::image: operand leaves the care set");
 #endif
+  if (reduction_ != nullptr) {
+    return reduction_->image(states, method_, care_on_ ? &care_ : nullptr);
+  }
+  if (!care_on_) return ts_.image(states, method_);
   return ts_.image(states, method_, &care_);
 }
 
 bdd::Bdd EvalContext::preimage(const bdd::Bdd& states) {
   ensure_care();
+  if (reduction_ != nullptr) {
+    return reduction_->preimage(states, method_, care_on_ ? &care_ : nullptr);
+  }
   return ts_.preimage(states, method_, care_on_ ? &care_ : nullptr);
 }
 

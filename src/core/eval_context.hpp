@@ -32,6 +32,7 @@
 
 #include <optional>
 
+#include "analyze/analyze.hpp"
 #include "bdd/bdd.hpp"
 #include "ts/transition_system.hpp"
 
@@ -47,6 +48,17 @@ class EvalContext {
 
   [[nodiscard]] ts::TransitionSystem& system() { return ts_; }
   [[nodiscard]] ts::ImageMethod method() const { return method_; }
+
+  /// Route every sweep through a cone-of-influence reduction (nullptr to
+  /// uninstall; DESIGN.md §12).  Resets the lazy care-set state: under a
+  /// reduction the care set is the reduced reachable states and the
+  /// restricted relation copies are built from the reduced clusters.  The
+  /// pointer is owned by the installing Checker and must outlive its use.
+  void set_reduction(const analyze::Reduction* reduction);
+  /// The active reduction, or nullptr when sweeps are exact.
+  [[nodiscard]] const analyze::Reduction* reduction() const {
+    return reduction_;
+  }
 
   /// Was simplification requested (option or environment)?
   [[nodiscard]] bool care_requested() const { return care_requested_; }
@@ -68,6 +80,7 @@ class EvalContext {
 
   ts::TransitionSystem& ts_;
   ts::ImageMethod method_;
+  const analyze::Reduction* reduction_ = nullptr;
   bool care_requested_;
   bool care_ready_ = false;  ///< lazy setup ran (activated or fell back)
   bool care_on_ = false;     ///< care_ is populated and in use

@@ -1,8 +1,11 @@
 #include "core/explain.hpp"
 
 #include <stdexcept>
+#include <string>
 #include <utility>
+#include <vector>
 
+#include "analyze/analyze.hpp"
 #include "certify/certify.hpp"
 
 namespace symcex::core {
@@ -52,6 +55,7 @@ CheckOutcome Explainer::check(const Formula::Ptr& spec) {
 
 Explanation Explainer::explain(const Formula::Ptr& spec) {
   auto& ts = checker_.system();
+  checker_.prepare(spec);
   const Formula::Ptr enf = ctl::to_existential_normal_form(spec);
   const bdd::Bdd sat = checker_.states_enf(enf);
   Explanation out;
@@ -91,6 +95,31 @@ Explanation Explainer::explain(const Formula::Ptr& spec) {
   const bool informative =
       walked_temporal_ || trace.is_lasso() || trace.length() > 1 || !out.holds;
   if (informative) {
+    if (const analyze::Reduction* reduction = checker_.context().reduction()) {
+      // The trace was built in the reduced model, where the dropped
+      // variables carry arbitrary values.  Re-simulate them against the
+      // RAW relation so certification and every downstream consumer see a
+      // genuine full-model execution (DESIGN.md §12).  A step that cannot
+      // be inflated is a soundness escape of the reduction (a deadlocked
+      // dropped component); escalate it exactly like a failed certificate.
+      std::vector<bdd::Bdd> full_prefix;
+      std::vector<bdd::Bdd> full_cycle;
+      std::string error;
+      if (!analyze::inflate_trace(ts, *reduction, trace.prefix, trace.cycle,
+                                  &full_prefix, &full_cycle, &error)) {
+        certify::Certificate cert;
+        cert.require("coi-trace-inflation", false, std::move(error));
+        throw certify::CertificationError("Explainer::explain",
+                                          std::move(cert));
+      }
+      trace.prefix = std::move(full_prefix);
+      trace.cycle = std::move(full_cycle);
+      // Recorded obligations are reduced-model minterms; project them onto
+      // the cone so the inflated states still satisfy them.
+      for (bdd::Bdd& obligation : obligations_) {
+        obligation = reduction->project(obligation);
+      }
+    }
     // The stitched trace mixes sub-formula semantics, so the certifier
     // re-checks the structural duties: every state a single concrete
     // minterm, every step a transition, the lasso (if any) closed.

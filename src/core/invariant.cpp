@@ -1,7 +1,10 @@
 #include "core/invariant.hpp"
 
+#include <string>
+#include <utility>
 #include <vector>
 
+#include "analyze/analyze.hpp"
 #include "certify/certify.hpp"
 
 namespace symcex::core {
@@ -9,6 +12,7 @@ namespace symcex::core {
 InvariantResult check_invariant(Checker& checker, const bdd::Bdd& invariant,
                                 bool extend_to_fair) {
   auto& ts = checker.system();
+  checker.prepare(std::vector<bdd::Bdd>{invariant});
   EvalContext& context = checker.context();
 
   InvariantResult out;
@@ -36,6 +40,24 @@ InvariantResult check_invariant(Checker& checker, const bdd::Bdd& invariant,
         if (extend_to_fair) {
           WitnessGenerator generator(checker);
           generator.extend_to_fair(trace);
+        }
+        if (const analyze::Reduction* reduction = checker.reduction()) {
+          // Re-simulate the dropped variables against the raw relation
+          // before certification (DESIGN.md §12); the cone projection --
+          // and with it the invariant violation -- is preserved exactly.
+          std::vector<bdd::Bdd> full_prefix;
+          std::vector<bdd::Bdd> full_cycle;
+          std::string error;
+          if (!analyze::inflate_trace(ts, *reduction, trace.prefix,
+                                      trace.cycle, &full_prefix, &full_cycle,
+                                      &error)) {
+            certify::Certificate cert;
+            cert.require("coi-trace-inflation", false, std::move(error));
+            throw certify::CertificationError("check_invariant",
+                                              std::move(cert));
+          }
+          trace.prefix = std::move(full_prefix);
+          trace.cycle = std::move(full_cycle);
         }
         // An invariant counterexample is an E[true U !invariant] witness.
         if (certify::enabled()) {

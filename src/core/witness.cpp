@@ -124,7 +124,11 @@ Trace WitnessGenerator::eg(const FairEG& info, const bdd::Bdd& f_states,
         "fairness constraints");
   }
   Trace out = eg_lasso(info, f_states, ts.pick_state(start_set));
-  if (certify::enabled()) {
+  // Under a COI reduction the trace is a reduced-model execution; the
+  // Explainer re-inflates it and certifies the full-model trace against
+  // the raw relation instead (DESIGN.md §12), so the local hooks here
+  // (and in eu()/ex() below) stand down.
+  if (certify::enabled() && checker_.context().reduction() == nullptr) {
     certify::require_certified(
         certifier().certify_eg(out, f_states, info.constraints),
         "WitnessGenerator::eg");
@@ -305,7 +309,7 @@ Trace WitnessGenerator::eu(const bdd::Bdd& f, const bdd::Bdd& g,
   Trace out;
   out.prefix = std::move(path);
   if (options_.extend_to_fair_path) extend_to_fair(out);
-  if (certify::enabled()) {
+  if (certify::enabled() && checker_.context().reduction() == nullptr) {
     certify::require_certified(certifier().certify_eu(out, f, g),
                                "WitnessGenerator::eu");
   }
@@ -347,7 +351,7 @@ Trace WitnessGenerator::ex(const bdd::Bdd& f, const bdd::Bdd& from) {
   Trace out;
   out.prefix = {s, t};
   if (options_.extend_to_fair_path) extend_to_fair(out);
-  if (certify::enabled()) {
+  if (certify::enabled() && checker_.context().reduction() == nullptr) {
     certify::require_certified(certifier().certify_ex(out, f),
                                "WitnessGenerator::ex");
   }

@@ -5,6 +5,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "diag/metrics.hpp"
 #include "smv/ast.hpp"
 #include "smv/smv.hpp"
 
@@ -97,6 +98,13 @@ bool contains_temporal(const ExprP& e) {
   }
 }
 
+/// Walk every identifier occurrence in an expression tree.
+template <typename Fn>
+void walk_idents(const ExprP& e, Fn&& fn) {
+  if (e->kind == EK::kIdent) fn(*e);
+  for (const auto& k : e->kids) walk_idents(k, fn);
+}
+
 struct VarSlot {
   std::string name;
   bool is_boolean = false;
@@ -106,13 +114,18 @@ struct VarSlot {
 
 class Compiler {
  public:
-  explicit Compiler(const Module& prog) : prog_(prog) {}
+  Compiler(const Module& prog, const CompileOptions& options)
+      : prog_(prog),
+        findings_(options.findings),
+        fold_(options.fold_constants.value_or(
+            diag::env_flag("SYMCEX_FOLD_CONST"))) {}
 
   SmvModel run() {
     builder_.system() = std::make_unique<ts::TransitionSystem>();
     init_ = mgr().one();
     declare_vars();
     collect_defines();
+    propagate_constants();
     process_assigns();
     process_sections();
     process_specs();
@@ -164,6 +177,15 @@ class Compiler {
     if (order_.empty()) {
       throw SmvError("model declares no variables", 1);
     }
+    // A variable named like an enum literal would win every identifier
+    // lookup and silently shadow the literal; reject the ambiguity.
+    for (const auto& d : prog_.vars) {
+      if (is_enum_literal(d.name)) {
+        throw SmvError("variable '" + d.name +
+                           "' shadows an enum literal of the same name",
+                       d.line);
+      }
+    }
     // Precompute the valid-encoding predicate (both rails); case
     // exhaustiveness is judged relative to it, since the unused encodings
     // of non-power-of-two domains are unreachable by construction.
@@ -180,7 +202,297 @@ class Compiler {
         throw SmvError("DEFINE '" + d.name + "' clashes with another symbol",
                        d.line);
       }
+      if (is_enum_literal(d.name)) {
+        throw SmvError("DEFINE '" + d.name +
+                           "' shadows an enum literal of the same name",
+                       d.line);
+      }
       defines_.emplace(d.name, d.rhs);
+    }
+    check_define_cycles();
+  }
+
+  /// Reject DEFINE reference cycles up front.  The lazy cycle guard in
+  /// eval_ident only fires when a cyclic macro is actually used; an unused
+  /// cycle would otherwise compile silently and blow up later callers.
+  void check_define_cycles() {
+    enum class Mark { kVisiting, kDone };
+    std::unordered_map<std::string, Mark> marks;
+    // Iterative DFS (explicit stack) so adversarially deep chains cannot
+    // overflow the call stack.
+    for (const auto& d : prog_.defines) {
+      if (marks.contains(d.name)) continue;
+      std::vector<std::pair<std::string, std::size_t>> stack;
+      stack.emplace_back(d.name, d.line);
+      marks.emplace(d.name, Mark::kVisiting);
+      std::vector<std::vector<std::pair<std::string, std::size_t>>> pending;
+      pending.emplace_back();
+      walk_idents(defines_.at(d.name), [&](const Expr& id) {
+        if (defines_.contains(id.name)) {
+          pending.back().emplace_back(id.name, id.line);
+        }
+      });
+      while (!stack.empty()) {
+        if (pending.back().empty()) {
+          marks[stack.back().first] = Mark::kDone;
+          stack.pop_back();
+          pending.pop_back();
+          continue;
+        }
+        const auto [name, line] = pending.back().back();
+        pending.back().pop_back();
+        const auto it = marks.find(name);
+        if (it != marks.end()) {
+          if (it->second == Mark::kVisiting) {
+            throw SmvError("cyclic DEFINE '" + name + "'", line);
+          }
+          continue;
+        }
+        marks.emplace(name, Mark::kVisiting);
+        stack.emplace_back(name, line);
+        pending.emplace_back();
+        walk_idents(defines_.at(name), [&](const Expr& id) {
+          if (defines_.contains(id.name)) {
+            pending.back().emplace_back(id.name, id.line);
+          }
+        });
+      }
+    }
+  }
+
+  [[nodiscard]] bool is_enum_literal(const std::string& name) const {
+    for (const auto& [slot_name, slot] : slots_) {
+      (void)slot_name;
+      for (const auto& val : slot.domain) {
+        if (val.tag == SmvValue::Tag::kSymbol && val.symbol == name) {
+          return true;
+        }
+      }
+    }
+    return false;
+  }
+
+  void report(const char* check, const std::string& message,
+              std::size_t line) {
+    if (findings_ == nullptr) return;
+    findings_->push_back(LintFinding{check, message, line, false});
+  }
+
+  // -- constant propagation ----------------------------------------------------
+
+  /// Evaluate an expression to a constant under `env` (known-constant
+  /// variable values), or nullopt when the value depends on state.  Purely
+  /// syntactic-plus-env: no BDDs are built.  DEFINE cycles were rejected
+  /// up front, so macro expansion terminates.
+  std::optional<SmvValue> const_eval(
+      const ExprP& e, const std::map<std::string, SmvValue>& env) {
+    switch (e->kind) {
+      case EK::kTrue:
+        return bool_value(true);
+      case EK::kFalse:
+        return bool_value(false);
+      case EK::kInt:
+        return int_value(e->ival);
+      case EK::kIdent: {
+        if (slots_.contains(e->name)) {
+          const auto it = env.find(e->name);
+          if (it != env.end()) return it->second;
+          return std::nullopt;
+        }
+        if (const auto it = defines_.find(e->name); it != defines_.end()) {
+          return const_eval(it->second, env);
+        }
+        if (is_enum_literal(e->name)) {
+          SmvValue v;
+          v.tag = SmvValue::Tag::kSymbol;
+          v.symbol = e->name;
+          return v;
+        }
+        return std::nullopt;  // unknown identifier: let eval() diagnose it
+      }
+      case EK::kNext:
+        // next(x) under a constant env: x holds the same value on both rails.
+        return const_eval(e->kids[0], env);
+      case EK::kNot: {
+        const auto a = const_eval(e->kids[0], env);
+        if (!a || a->tag != SmvValue::Tag::kBool) return std::nullopt;
+        return bool_value(!a->b);
+      }
+      case EK::kNeg: {
+        const auto a = const_eval(e->kids[0], env);
+        if (!a || a->tag != SmvValue::Tag::kInt) return std::nullopt;
+        return int_value(-a->i);
+      }
+      case EK::kAnd:
+      case EK::kOr:
+      case EK::kXor:
+      case EK::kImplies:
+      case EK::kIff: {
+        const auto a = const_eval(e->kids[0], env);
+        const auto b = const_eval(e->kids[1], env);
+        const auto known_bool = [](const std::optional<SmvValue>& v) {
+          return v && v->tag == SmvValue::Tag::kBool;
+        };
+        // Short-circuit: one dominating operand decides AND/OR/IMPLIES even
+        // when the other side is state-dependent.
+        if (e->kind == EK::kAnd &&
+            ((known_bool(a) && !a->b) || (known_bool(b) && !b->b))) {
+          return bool_value(false);
+        }
+        if (e->kind == EK::kOr &&
+            ((known_bool(a) && a->b) || (known_bool(b) && b->b))) {
+          return bool_value(true);
+        }
+        if (e->kind == EK::kImplies &&
+            ((known_bool(a) && !a->b) || (known_bool(b) && b->b))) {
+          return bool_value(true);
+        }
+        if (!known_bool(a) || !known_bool(b)) return std::nullopt;
+        switch (e->kind) {
+          case EK::kAnd:
+            return bool_value(a->b && b->b);
+          case EK::kOr:
+            return bool_value(a->b || b->b);
+          case EK::kXor:
+            return bool_value(a->b != b->b);
+          case EK::kImplies:
+            return bool_value(!a->b || b->b);
+          default:
+            return bool_value(a->b == b->b);
+        }
+      }
+      case EK::kEq:
+      case EK::kNe: {
+        const auto a = const_eval(e->kids[0], env);
+        const auto b = const_eval(e->kids[1], env);
+        if (!a || !b || a->tag != b->tag) return std::nullopt;
+        const bool eq = value_eq(*a, *b);
+        return bool_value(e->kind == EK::kEq ? eq : !eq);
+      }
+      case EK::kLt:
+      case EK::kLe:
+      case EK::kGt:
+      case EK::kGe: {
+        const auto a = const_eval(e->kids[0], env);
+        const auto b = const_eval(e->kids[1], env);
+        if (!a || !b || a->tag != SmvValue::Tag::kInt ||
+            b->tag != SmvValue::Tag::kInt) {
+          return std::nullopt;
+        }
+        switch (e->kind) {
+          case EK::kLt:
+            return bool_value(a->i < b->i);
+          case EK::kLe:
+            return bool_value(a->i <= b->i);
+          case EK::kGt:
+            return bool_value(a->i > b->i);
+          default:
+            return bool_value(a->i >= b->i);
+        }
+      }
+      case EK::kAdd:
+      case EK::kSub:
+      case EK::kMul:
+      case EK::kDiv:
+      case EK::kMod: {
+        const auto a = const_eval(e->kids[0], env);
+        const auto b = const_eval(e->kids[1], env);
+        if (!a || !b || a->tag != SmvValue::Tag::kInt ||
+            b->tag != SmvValue::Tag::kInt) {
+          return std::nullopt;
+        }
+        switch (e->kind) {
+          case EK::kAdd:
+            return int_value(a->i + b->i);
+          case EK::kSub:
+            return int_value(a->i - b->i);
+          case EK::kMul:
+            return int_value(a->i * b->i);
+          case EK::kDiv:
+            if (b->i == 0) return std::nullopt;  // eval() raises the error
+            return int_value(a->i / b->i);
+          default:
+            if (b->i == 0) return std::nullopt;
+            return int_value(((a->i % b->i) + b->i) % b->i);
+        }
+      }
+      case EK::kSet: {
+        // A set is constant only when it collapses to one value.
+        std::optional<SmvValue> single;
+        for (const auto& k : e->kids) {
+          const auto v = const_eval(k, env);
+          if (!v) return std::nullopt;
+          if (!single) {
+            single = v;
+          } else if (!value_eq(*single, *v)) {
+            return std::nullopt;
+          }
+        }
+        return single;
+      }
+      case EK::kCase: {
+        for (std::size_t i = 0; i + 1 < e->kids.size(); i += 2) {
+          const auto g = const_eval(e->kids[i], env);
+          if (!g || g->tag != SmvValue::Tag::kBool) return std::nullopt;
+          if (g->b) return const_eval(e->kids[i + 1], env);
+        }
+        return std::nullopt;
+      }
+      default:
+        return std::nullopt;
+    }
+  }
+
+  /// Least-fixpoint constant discovery: a variable is constant when its
+  /// initial value is a constant c and its next-state function provably
+  /// re-produces c given the constants already established (including,
+  /// inductively, its own).  Combinational assignments with constant
+  /// right-hand sides join the constant pool directly.
+  void propagate_constants() {
+    if (!fold_ && findings_ == nullptr) return;
+    std::map<std::string, const Assign*> init_of;
+    std::map<std::string, const Assign*> next_of;
+    std::map<std::string, const Assign*> cur_of;
+    for (const auto& a : prog_.assigns) {
+      if (!slots_.contains(a.var)) continue;  // process_assigns diagnoses
+      auto& m = a.kind == Assign::Kind::kInit
+                    ? init_of
+                    : a.kind == Assign::Kind::kNext ? next_of : cur_of;
+      m.emplace(a.var, &a);  // duplicates rejected by process_assigns
+    }
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (const auto& [name, a] : cur_of) {
+        if (consts_.contains(name)) continue;
+        if (const auto c = const_eval(a->rhs, consts_)) {
+          consts_.emplace(name, *c);
+          const_lines_[name] = a->line;
+          changed = true;
+        }
+      }
+      for (const auto& [name, a] : next_of) {
+        if (consts_.contains(name)) continue;
+        const auto ai = init_of.find(name);
+        if (ai == init_of.end()) continue;
+        const auto c0 = const_eval(ai->second->rhs, consts_);
+        if (!c0) continue;
+        auto env = consts_;
+        env.emplace(name, *c0);
+        const auto cn = const_eval(a->rhs, env);
+        if (cn && value_eq(*cn, *c0)) {
+          consts_.emplace(name, *c0);
+          const_lines_[name] = a->line;
+          foldable_.insert(name);
+          changed = true;
+        }
+      }
+    }
+    for (const auto& [name, val] : consts_) {
+      report("constant-next-state",
+             "variable '" + name + "' is provably constant (always " +
+                 val.to_string() + ")",
+             const_lines_[name]);
     }
   }
 
@@ -382,6 +694,20 @@ class Compiler {
         if (r) truth |= ga & gb;
       }
     }
+    // Lint: a comparison decided by the domains alone (relative to the
+    // valid encodings -- unused encodings of non-power-of-two domains do
+    // not count) indicates a range-dead condition, e.g. `cnt >= 0` over
+    // 0..7 or `cnt > 9` over 0..7.
+    if (findings_ != nullptr) {
+      if ((truth & valid_all_).is_false()) {
+        report("range-dead-comparison",
+               "comparison is always false over the declared ranges",
+               e->line);
+      } else if (valid_all_.implies(truth)) {
+        report("range-dead-comparison",
+               "comparison is always true over the declared ranges", e->line);
+      }
+    }
     SymValue v;
     v.add(bool_value(true), truth);
     v.add(bool_value(false), !truth);
@@ -431,6 +757,16 @@ class Compiler {
       const bdd::Bdd cond =
           to_bdd(eval(e->kids[i], next_rail), e->kids[i]->line);
       const bdd::Bdd guard = cond & remaining;
+      // Lint: an arm no valid state selects is dead weight -- either its
+      // condition is unsatisfiable or earlier arms already cover it.  A
+      // literal TRUE default is exempt: defensive defaults after an
+      // exhaustive enumeration are idiomatic, not defects.
+      if (findings_ != nullptr && e->kids[i]->kind != EK::kTrue &&
+          (guard & valid_all_).is_false()) {
+        report("unreachable-case-arm",
+               "case arm is unreachable (condition never selects a state)",
+               e->kids[i]->line);
+      }
       remaining -= cond;
       if (guard.is_false()) continue;
       const SymValue branch = eval(e->kids[i + 1], next_rail);
@@ -468,6 +804,7 @@ class Compiler {
     std::unordered_set<std::string> has_init;
     std::unordered_set<std::string> has_next;
     std::unordered_set<std::string> has_current;
+    std::unordered_set<std::string> pinned;
     for (const auto& a : prog_.assigns) {
       const auto it = slots_.find(a.var);
       if (it == slots_.end()) {
@@ -489,6 +826,25 @@ class Compiler {
                        a.line);
       }
       const VarSlot& slot = it->second;
+      if (fold_ && foldable_.contains(a.var) &&
+          a.kind != Assign::Kind::kCurrent) {
+        // Dead-assignment elimination: the variable is provably constant,
+        // so its init/next assignment relations collapse to rail pins
+        // cur=c & next=c.  The pin reads nothing, which severs the
+        // variable from every other conjunct's support (the whole point:
+        // the cone-of-influence pass can now drop it independently).
+        if (pinned.insert(a.var).second) {
+          const SmvValue& c = consts_.at(a.var);
+          const bdd::Bdd cur_pin = encode_value(slot, c, false, a.line);
+          const bdd::Bdd next_pin = encode_value(slot, c, true, a.line);
+          init_ &= cur_pin;
+          sys().add_trans(cur_pin & next_pin);
+          if (diag::enabled()) {
+            diag::Registry::global().add_in("analyze", "const_folded", 1);
+          }
+        }
+        continue;
+      }
       if (a.kind == Assign::Kind::kCurrent) {
         // v := e  means v equals e in every state: constrain the initial
         // states and both rails of the transition relation.
@@ -623,15 +979,18 @@ class Compiler {
 
   void finish() {
     // Domain validity: initial states valid, transitions preserve validity.
+    // The next-rail constraint is emitted per variable (not as one merged
+    // conjunct): a merged predicate's support would tie every
+    // non-power-of-two variable together and glue otherwise independent
+    // variables into one cone of influence.
     bdd::Bdd valid_cur = mgr().one();
-    bdd::Bdd valid_next = mgr().one();
     for (const auto& name : order_) {
       const VarSlot& slot = slots_.at(name);
       valid_cur &= valid(slot, false);
-      valid_next &= valid(slot, true);
+      const bdd::Bdd valid_next = valid(slot, true);
+      if (!valid_next.is_true()) sys().add_trans(valid_next);
     }
     init_ &= valid_cur;
-    if (!valid_next.is_true()) sys().add_trans(valid_next);
     if (sys().trans_parts().empty()) {
       // A model with no constraints at all: anything can happen.
       sys().add_trans(mgr().one());
@@ -652,12 +1011,17 @@ class Compiler {
   }
 
   const Module& prog_;
+  std::vector<LintFinding>* findings_;
+  bool fold_;
   SmvModel model_;
   SmvModelBuilder builder_{model_};
   std::map<std::string, VarSlot> slots_;
   std::vector<std::string> order_;
   std::unordered_map<std::string, ExprP> defines_;
   std::unordered_set<std::string> expanding_;
+  std::map<std::string, SmvValue> consts_;        // propagate_constants()
+  std::map<std::string, std::size_t> const_lines_;
+  std::unordered_set<std::string> foldable_;      // init+next provably const
   bdd::Bdd init_;
   bdd::Bdd valid_all_;
   std::size_t next_atom_ = 0;
@@ -733,10 +1097,12 @@ std::string SmvModel::trace_string(const std::vector<bdd::Bdd>& prefix,
   return out;
 }
 
-SmvModel compile(const std::string& source) {
+SmvModel compile(const std::string& source) { return compile(source, {}); }
+
+SmvModel compile(const std::string& source, const CompileOptions& options) {
   const detail::Program prog = detail::parse_program(source);
   const detail::Module flat = detail::flatten_program(prog);
-  Compiler compiler(flat);
+  Compiler compiler(flat, options);
   return compiler.run();
 }
 

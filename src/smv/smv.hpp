@@ -34,6 +34,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -133,7 +134,33 @@ class SmvModel {
   std::vector<VarInfo> vars_;
 };
 
+/// One static-analysis diagnostic about an SMV source (see analyze::Linter).
+struct LintFinding {
+  std::string check;    ///< stable kebab-case check name, e.g. "unused-variable"
+  std::string message;  ///< human-readable description
+  std::size_t line = 0; ///< 1-based source line (0 when not attributable)
+  bool error = false;   ///< true for parse/compile failures, false for lints
+};
+
+/// Knobs for compile().  Default-constructed options reproduce the plain
+/// compile() behaviour exactly.
+struct CompileOptions {
+  /// Fold provably constant variables: a variable whose initial value is a
+  /// constant and whose next-state function provably re-produces it is
+  /// pinned by a two-literal rail predicate instead of its full assignment
+  /// relation (dead-assignment elimination; shrinks conjunct supports so
+  /// the cone-of-influence pass can sever it).  nullopt reads the
+  /// SYMCEX_FOLD_CONST environment flag.
+  std::optional<bool> fold_constants;
+  /// When non-null, semantic lint findings discovered during elaboration
+  /// (unreachable case arms, range-dead comparisons, constant next-state
+  /// functions) are appended here instead of being discarded.
+  std::vector<LintFinding>* findings = nullptr;
+};
+
 /// Compile SMV source text into a ready-to-check model.  Throws SmvError.
 [[nodiscard]] SmvModel compile(const std::string& source);
+[[nodiscard]] SmvModel compile(const std::string& source,
+                               const CompileOptions& options);
 
 }  // namespace symcex::smv

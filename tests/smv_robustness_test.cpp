@@ -97,6 +97,42 @@ TEST(SmvRobustness, DuplicateDeclarations) {
       "duplicate-assignment");
 }
 
+TEST(SmvRobustness, DefineCyclesAreRejectedUpFront) {
+  expect_smv_error("MODULE main\nVAR x : boolean;\nDEFINE d := d;",
+                   "self-referential-define");
+  expect_smv_error(
+      "MODULE main\nVAR x : boolean;\nDEFINE a := b;\nDEFINE b := a;",
+      "mutual-define-cycle");
+  expect_smv_error(
+      "MODULE main\nVAR x : boolean;\n"
+      "DEFINE a := b & x;\nDEFINE b := c | x;\nDEFINE c := !a;",
+      "three-step-define-cycle");
+  // Even a cycle no SPEC/ASSIGN ever references is rejected: the lazy
+  // guard in evaluation would miss it, so the compiler checks up front.
+  expect_smv_error(
+      "MODULE main\nVAR x : boolean;\nDEFINE u := u & x;\nSPEC AG x;",
+      "unused-define-cycle");
+  // Acyclic chains stay legal.
+  EXPECT_NO_THROW((void)compile(
+      "MODULE main\nVAR x : boolean;\n"
+      "DEFINE a := b & x;\nDEFINE b := c;\nDEFINE c := !x;\nSPEC AG a;"));
+}
+
+TEST(SmvRobustness, ShadowingAndClashingDeclarations) {
+  // A VAR or DEFINE named like an enum literal would make bare-identifier
+  // lookup ambiguous; both are typed errors.
+  expect_smv_error("MODULE main\nVAR m : {idle, busy};\nVAR busy : boolean;",
+                   "var-shadows-enum-literal");
+  expect_smv_error(
+      "MODULE main\nVAR m : {idle, busy};\nDEFINE busy := m = idle;",
+      "define-shadows-enum-literal");
+  expect_smv_error("MODULE main\nVAR x : boolean;\nDEFINE x := TRUE;",
+                   "define-clashes-with-var");
+  expect_smv_error(
+      "MODULE main\nVAR x : boolean;\nDEFINE d := x;\nDEFINE d := !x;",
+      "duplicate-define");
+}
+
 TEST(SmvRobustness, IntegerOverflowIsATypedError) {
   expect_smv_error("MODULE main\nVAR x : 0..99999999999999999999999999;",
                    "range-bound-overflow");
