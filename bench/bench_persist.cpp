@@ -1,0 +1,170 @@
+// Cost of crash-safe persistence (src/persist).
+//
+// Checkpointing competes with the margin budget: the deadline-margin hook
+// fires when SYMCEX_CHECKPOINT_MARGIN_MS of wall clock remains, so the
+// snapshot write itself has to fit in that margin.  These benches size
+// it:
+//
+//   * encode+write a manager DAG of growing size (the shared-DAG encoder
+//     is the dominant term),
+//   * save_check_snapshot end to end for a mid-fixpoint interruption of
+//     each benchmark model shape,
+//   * load_check_snapshot end to end (rebuild, decode, audit, schedule
+//     verification) -- the resume-side latency,
+//   * the fault-injection probe itself, armed and unarmed, since the
+//     kernel pays one on every fresh node allocation.
+
+#include <cstdio>
+#include <random>
+#include <sstream>
+#include <string>
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hpp"
+
+#include "bdd/bdd.hpp"
+#include "core/checker.hpp"
+#include "ctl/formula.hpp"
+#include "guard/fault.hpp"
+#include "models/models.hpp"
+#include "persist/persist.hpp"
+#include "ts/transition_system.hpp"
+
+namespace {
+
+using namespace symcex;
+
+bdd::Bdd random_function(bdd::Manager& m, std::mt19937& rng,
+                         std::uint32_t vars, int terms) {
+  bdd::Bdd f = m.zero();
+  for (int t = 0; t < terms; ++t) {
+    bdd::Bdd cube = m.one();
+    for (std::uint32_t v = 0; v < vars; ++v) {
+      switch (rng() % 3) {
+        case 0:
+          cube &= m.var(v);
+          break;
+        case 1:
+          cube &= m.nvar(v);
+          break;
+        default:
+          break;
+      }
+    }
+    f |= cube;
+  }
+  return f;
+}
+
+/// Encode + serialize a manager snapshot to memory; range(0) = number of
+/// random terms (a proxy for DAG size).
+void BM_ManagerSave(benchmark::State& state) {
+  const int terms = static_cast<int>(state.range(0));
+  bdd::Manager m(24);
+  std::mt19937 rng(7);
+  const bdd::Bdd f = random_function(m, rng, 24, terms);
+  std::size_t bytes = 0;
+  for (auto _ : state) {
+    std::ostringstream os;
+    m.save_snapshot(os, {f}, {"f"});
+    bytes = os.str().size();
+    benchmark::DoNotOptimize(bytes);
+  }
+  state.counters["nodes"] = static_cast<double>(m.stats().live_nodes);
+  state.counters["bytes"] = static_cast<double>(bytes);
+}
+BENCHMARK(BM_ManagerSave)->Arg(8)->Arg(64)->Arg(256);
+
+/// Decode the same snapshot into a fresh manager.
+void BM_ManagerLoad(benchmark::State& state) {
+  const int terms = static_cast<int>(state.range(0));
+  std::string bytes;
+  {
+    bdd::Manager m(24);
+    std::mt19937 rng(7);
+    const bdd::Bdd f = random_function(m, rng, 24, terms);
+    std::ostringstream os;
+    m.save_snapshot(os, {f}, {"f"});
+    bytes = os.str();
+  }
+  for (auto _ : state) {
+    bdd::Manager m(24);
+    std::istringstream is(bytes);
+    benchmark::DoNotOptimize(m.load_snapshot(is));
+  }
+}
+BENCHMARK(BM_ManagerLoad)->Arg(8)->Arg(64)->Arg(256);
+
+/// save_check_snapshot end to end for a counter-bank mid-reachability
+/// shape: finalized system, schedules, one in-flight frontier.
+void BM_CheckSave(benchmark::State& state) {
+  auto sys = models::counter_bank(
+      {.banks = static_cast<std::uint32_t>(state.range(0)), .width = 4});
+  (void)sys->reachable();
+  persist::CheckSnapshotInput input;
+  input.system = sys.get();
+  input.model_name = "bank";
+  input.spec = ctl::parse("AG EF all_zero");
+  input.reachable = sys->reachable();
+  const std::string path = "/tmp/bench_persist_save.sxsnap";
+  for (auto _ : state) {
+    persist::save_check_snapshot(path, input);
+  }
+  std::remove(path.c_str());
+}
+BENCHMARK(BM_CheckSave)->Arg(4)->Arg(16);
+
+/// load_check_snapshot end to end: container validation, system rebuild,
+/// DAG decode, audit gate, cluster-schedule verification.
+void BM_CheckLoad(benchmark::State& state) {
+  const std::string path = "/tmp/bench_persist_load.sxsnap";
+  {
+    auto sys = models::counter_bank(
+        {.banks = static_cast<std::uint32_t>(state.range(0)), .width = 4});
+    (void)sys->reachable();
+    persist::CheckSnapshotInput input;
+    input.system = sys.get();
+    input.model_name = "bank";
+    input.spec = ctl::parse("AG EF all_zero");
+    input.reachable = sys->reachable();
+    persist::save_check_snapshot(path, input);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(persist::load_check_snapshot(path));
+  }
+  std::remove(path.c_str());
+}
+BENCHMARK(BM_CheckLoad)->Arg(4)->Arg(16);
+
+/// The injection probe on the mk hot path: unarmed (one relaxed atomic
+/// load) vs armed-but-never-matching (mutex + scan).
+void BM_FaultProbeUnarmed(benchmark::State& state) {
+  guard::FaultInjector::instance().clear();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        guard::fault_fire(guard::FaultKind::kAlloc, "mk"));
+  }
+}
+BENCHMARK(BM_FaultProbeUnarmed);
+
+void BM_FaultProbeArmedMiss(benchmark::State& state) {
+  guard::FaultInjector::instance().configure("io-fail@never:1000000000");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        guard::fault_fire(guard::FaultKind::kAlloc, "mk"));
+  }
+  guard::FaultInjector::instance().clear();
+}
+BENCHMARK(BM_FaultProbeArmedMiss);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  symcex::bench::StatsExport stats(&argc, argv);
+  ::benchmark::Initialize(&argc, argv);
+  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  return 0;
+}

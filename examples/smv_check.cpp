@@ -14,6 +14,16 @@
 //                   per spec into DIR; the SYMCEX_EVIDENCE_DIR environment
 //                   variable does the same when the flag is absent.  Each
 //                   bundle re-verifies standalone with tools/symcex-verify.
+//   --resume FILE   continue an interrupted check from a crash-safe
+//                   checkpoint (*.sxsnap) instead of compiling a model:
+//                   the snapshot's transition system, options, completed
+//                   sets, and fixpoint frontiers are restored, and the
+//                   resumed verdict / trace / evidence bundle are
+//                   byte-identical to an uninterrupted run's.
+//
+// With SYMCEX_CHECKPOINT_DIR set, a spec whose budget runs out writes a
+// checkpoint there (also periodically, shortly before a SYMCEX_DEADLINE_MS
+// deadline) and the path is printed; exhaustion exits 3.
 //
 // For each SPEC the verdict is printed, and when a counterexample or
 // witness exists the trace is rendered with SMV-level variable values
@@ -24,6 +34,7 @@
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <sstream>
 #include <string>
 
@@ -33,6 +44,7 @@
 #include "core/trace_util.hpp"
 #include "evidence/evidence.hpp"
 #include "guard/guard.hpp"
+#include "persist/persist.hpp"
 #include "smv/smv.hpp"
 
 namespace {
@@ -74,6 +86,70 @@ SPEC AG (floor = 0 & request = 3 -> !arrived)
 SPEC AG EF floor = 0
 )";
 
+/// Render a trace with raw boolean state variables (resume mode has no
+/// SMV-level model to decode enums with).
+void print_raw_trace(const symcex::ts::TransitionSystem& system,
+                     const symcex::core::Trace& trace) {
+  using symcex::bdd::Bdd;
+  Bdd prev;
+  std::size_t step = 0;
+  const auto print_states = [&](const std::vector<Bdd>& states) {
+    for (const Bdd& state : states) {
+      std::cout << "  state " << step++ << ": "
+                << system.state_string(state, prev) << "\n";
+      prev = state;
+    }
+  };
+  print_states(trace.prefix);
+  if (!trace.cycle.empty()) {
+    std::cout << "  -- loop starts here --\n";
+    print_states(trace.cycle);
+  }
+}
+
+/// Continue a checkpointed run: restore, re-check the stored spec (the
+/// staged frontiers make the fixpoints continue from their saved
+/// iterates), print, and emit evidence like a normal run.
+int run_resume(const std::string& snapshot_path, const std::string& evidence_dir,
+               bool shorten_traces) {
+  using namespace symcex;
+  core::ResumedCheck resumed = core::resume_check(
+      snapshot_path, core::CheckOptions{.evidence_dir = evidence_dir});
+  auto& system = *resumed.system;
+  std::cout << "resumed from " << snapshot_path << ": model '"
+            << resumed.model_name << "', "
+            << resumed.prior_spent.to_string() << " already spent\n\n";
+
+  core::Explainer explainer(*resumed.checker);
+  const core::CheckOutcome outcome = explainer.check(resumed.spec);
+  std::cout << "-- specification " << resumed.formula << " is "
+            << core::verdict_name(outcome.verdict) << "\n";
+  if (outcome.verdict == core::Verdict::kUnknown) {
+    std::cerr << "result unknown: " << outcome.reason << "\n";
+    if (!outcome.checkpoint_path.empty()) {
+      std::cerr << "  checkpoint updated: " << outcome.checkpoint_path << "\n";
+    }
+    return 3;
+  }
+  if (outcome.trace.has_value()) {
+    core::Trace trace = *outcome.trace;
+    if (shorten_traces) trace = core::shorten(trace, system, {});
+    std::cout << "-- " << outcome.reason << ":\n";
+    print_raw_trace(system, trace);
+  }
+  const core::Explanation explanation{
+      outcome.verdict == core::Verdict::kTrue, outcome.trace, outcome.reason,
+      {}, {}};
+  evidence::BundleBuilder bundle = evidence::from_explanation(
+      system, resumed.model_name, resumed.formula, explanation);
+  if (evidence::emit_if_configured(
+          bundle, evidence_dir,
+          evidence::sanitize_basename("resumed_" + resumed.formula))) {
+    std::cout << "-- evidence bundle written\n";
+  }
+  return outcome.verdict == core::Verdict::kTrue ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -85,6 +161,7 @@ int main(int argc, char** argv) {
   std::uint64_t seed = 1;
   std::string dot_path;
   std::string evidence_dir;
+  std::string resume_path;
   std::string path;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -100,12 +177,25 @@ int main(int argc, char** argv) {
       dot_path = argv[++i];
     } else if (arg == "--evidence" && i + 1 < argc) {
       evidence_dir = argv[++i];
+    } else if (arg == "--resume" && i + 1 < argc) {
+      resume_path = argv[++i];
     } else if (!arg.empty() && arg[0] == '-') {
       std::cerr << "usage: smv_check [--lint] [--shorten] [--simulate N] "
-                   "[--seed S] [--dot FILE] [--evidence DIR] [model.smv]\n";
+                   "[--seed S] [--dot FILE] [--evidence DIR] "
+                   "[--resume FILE.sxsnap] [model.smv]\n";
       return 2;
     } else {
       path = arg;
+    }
+  }
+
+  if (!resume_path.empty()) {
+    try {
+      return run_resume(resume_path, evidence_dir, shorten_traces);
+    } catch (const persist::SnapshotError& e) {
+      std::cerr << "error: cannot resume (" << e.check() << "): " << e.what()
+                << "\n";
+      return 2;
     }
   }
 
@@ -163,11 +253,44 @@ int main(int argc, char** argv) {
     }
 
     const std::string model_name = path.empty() ? "demo" : path;
-    core::Checker checker(system, {.evidence_dir = evidence_dir});
+    core::Checker checker(
+        system, {.evidence_dir = evidence_dir, .model_name = model_name});
     core::Explainer explainer(checker);
     int failures = 0;
+    int unknowns = 0;
     for (std::size_t i = 0; i < model.specs().size(); ++i) {
-      const core::Explanation result = explainer.explain(model.specs()[i]);
+      // With SYMCEX_CHECKPOINT_DIR set, snapshot this spec's state shortly
+      // before a deadline expires (margin hook) and on exhaustion below.
+      std::optional<guard::ScopedCheckpointHook> margin_hook;
+      if (!checker.checkpoint_dir().empty()) {
+        checker.reset_checkpoint_state();
+        margin_hook.emplace([&checker, &model, i, &system] {
+          (void)checker.write_checkpoint(model.specs()[i],
+                                         system.manager().budget_spent(),
+                                         /*include_live=*/true);
+        });
+      }
+      core::Explanation result;
+      try {
+        result = explainer.explain(model.specs()[i]);
+        checker.discard_pending_checkpoint();
+      } catch (const guard::ResourceExhausted& e) {
+        ++unknowns;
+        std::cout << "-- specification " << model.spec_texts()[i]
+                  << " is unknown (out of "
+                  << guard::resource_name(e.resource()) << " budget)\n";
+        std::string ckpt = checker.write_checkpoint(model.specs()[i],
+                                                    e.spent(),
+                                                    /*include_live=*/false);
+        if (ckpt.empty()) ckpt = checker.pending_checkpoint();
+        if (!ckpt.empty()) {
+          std::cout << "-- checkpoint written: " << ckpt
+                    << " (continue with --resume)\n";
+        }
+        std::cout << "\n";
+        continue;
+      }
+      margin_hook.reset();
       std::cout << "-- specification " << model.spec_texts()[i] << " is "
                 << (result.holds ? "true" : "false") << "\n";
       if (!result.holds) ++failures;
@@ -216,6 +339,7 @@ int main(int argc, char** argv) {
         std::cout << "-- evidence bundle written for spec " << i << "\n\n";
       }
     }
+    if (unknowns > 0) return 3;
     return failures == 0 ? 0 : 1;
   } catch (const smv::SmvError& e) {
     std::cerr << "error: " << e.what() << "\n";

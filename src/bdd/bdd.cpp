@@ -14,6 +14,7 @@
 #include <unordered_set>
 
 #include "diag/metrics.hpp"
+#include "guard/fault.hpp"
 
 namespace symcex::bdd {
 
@@ -361,6 +362,12 @@ Manager::Manager(std::uint32_t num_vars, const ManagerOptions& options)
   stats_.live_nodes = live_nodes_;
   stats_.peak_nodes = live_nodes_;
   buckets_.assign(1u << 12, kNil);
+  // Fault site "cache": the computed cache is the largest single
+  // allocation a fresh manager makes; its failure surfaces as the same
+  // bad_alloc a real exhaustion would raise from assign().
+  if (guard::fault_fire(guard::FaultKind::kAlloc, "cache")) {
+    throw std::bad_alloc{};
+  }
   cache_.assign(std::size_t{1} << options.cache_log2_size, CacheEntry{});
   for (std::uint32_t i = 0; i < num_vars; ++i) new_var();
   // Dynamic reordering is opt-in: SYMCEX_REORDER arms the growth trigger
@@ -494,6 +501,12 @@ std::uint32_t Manager::mk(std::uint32_t var, std::uint32_t lo,
     // node.  A bad_alloc surfaces as AllocationFailed, which run_apply
     // answers with a GC and one retry.
     try {
+      // Fault site "mk": the Nth fresh node allocation fails, exercising
+      // the GC-and-retry-once protocol below exactly as a real bad_alloc
+      // would.
+      if (guard::fault_fire(guard::FaultKind::kAlloc, "mk")) {
+        throw std::bad_alloc{};
+      }
       if (nodes_.size() == nodes_.capacity()) {
         nodes_.reserve(nodes_.capacity() * 2);
       }
@@ -525,6 +538,9 @@ void Manager::grow_table() {
   const std::size_t new_size = buckets_.size() * 2;
   std::vector<std::uint32_t> fresh;
   try {
+    if (guard::fault_fire(guard::FaultKind::kAlloc, "table")) {
+      throw std::bad_alloc{};
+    }
     fresh.assign(new_size, kNil);
   } catch (const std::bad_alloc&) {
     // Growth only shortens chains; under allocation pressure keep the
@@ -748,6 +764,19 @@ void Manager::swap_levels(std::uint32_t lvl) {
   if (depth_ != 0) {
     throw std::logic_error("Manager::swap_levels: kernel active");
   }
+  // Fault site "swap": exhaustion between block moves is how a budget
+  // really interrupts sifting; probing before any mutation keeps the
+  // injected failure at the same boundary.
+  if (guard::fault_fire(guard::FaultKind::kAlloc, "swap")) {
+    ++stats_.alloc_failures;
+    throw guard::AllocationFailed(
+        "Manager::swap_levels: injected allocation failure", budget_spent());
+  }
+  if (guard::fault_fire(guard::FaultKind::kDeadline, "swap")) {
+    ++stats_.budget_aborts;
+    throw guard::DeadlineExceeded("Manager::swap_levels: injected deadline",
+                                  budget_spent());
+  }
   const std::uint32_t x = level2var_[lvl];      // moves down to lvl + 1
   const std::uint32_t y = level2var_[lvl + 1];  // moves up to lvl
   // Only nodes of the upper variable can change shape.  Collect and
@@ -808,6 +837,15 @@ void Manager::swap_levels(std::uint32_t lvl) {
     deref_reclaim(f1);
   }
   ++stats_.reorder_swaps;
+  if (order_session_ && !restoring_order_ &&
+      live_nodes_ < session_best_nodes_ && groups_contiguous()) {
+    // Track the best order this session has seen, so an abort that skips
+    // the sifter's own rollback can still restore it.  Orders where a
+    // block move has a group temporarily split are never candidates: an
+    // abort must not restore a layout the audit would reject.
+    session_best_nodes_ = live_nodes_;
+    session_best_order_ = level2var_;
+  }
   if (!order_session_) {
     // Standalone swap: self-bracket.  Cache entries keyed on recycled
     // slots would be wrong, so flush; surviving entries would actually
@@ -829,14 +867,71 @@ void Manager::reorder_session_begin() {
   // being exact (refs == 0 <=> dead), which only a full GC guarantees.
   gc();
   order_session_ = true;
+  session_best_order_ = level2var_;
+  session_best_nodes_ = live_nodes_;
 }
 
 void Manager::reorder_session_end(bool audit_after) {
   if (!order_session_) return;
   order_session_ = false;
+  session_best_order_.clear();
+  session_best_nodes_ = 0;
   // Recycled slots may still be cached under stale keys: drop everything.
   flush_cache();
   if (audit_after && audits_enabled()) audit();
+}
+
+void Manager::abort_reorder_session() {
+  if (!order_session_) return;
+  // Exhaustion escaped mid-sift, so the sifter's cooperative rollback
+  // never ran: the in-flight block sits at an arbitrary position and the
+  // deferred cache flush is still pending.  Restore the best order this
+  // session saw, then close the session normally (flush + audit).  Fault
+  // probes are suspended: recovering from one injected failure must not
+  // trip the next countdown.
+  guard::FaultInjector::Suspend no_faults;
+  if (!session_best_order_.empty() && session_best_order_ != level2var_) {
+    restore_order(session_best_order_);
+  }
+  reorder_session_end();
+}
+
+bool Manager::groups_contiguous() const {
+  // Per-group (min level, max level, member count); contiguous iff each
+  // span is exactly as long as its membership.  Group ids are variable
+  // indices, so flat arrays suffice.
+  constexpr std::uint32_t kUnset = 0xFFFFFFFFu;
+  std::vector<std::uint32_t> lo(num_vars_, kUnset), hi(num_vars_, 0),
+      count(num_vars_, 0);
+  for (std::uint32_t v = 0; v < num_vars_; ++v) {
+    const std::uint32_t g = group_of_[v];
+    const std::uint32_t l = var2level_[v];
+    lo[g] = std::min(lo[g], l);
+    hi[g] = std::max(hi[g], l);
+    ++count[g];
+  }
+  for (std::uint32_t g = 0; g < num_vars_; ++g) {
+    if (count[g] > 1 && hi[g] - lo[g] + 1 != count[g]) return false;
+  }
+  return true;
+}
+
+void Manager::restore_order(const std::vector<std::uint32_t>& target) {
+  restoring_order_ = true;
+  try {
+    // Selection-sort by adjacent swaps: fix levels top-down; bubbling the
+    // target variable up never disturbs the already-fixed prefix.
+    for (std::uint32_t lvl = 0; lvl + 1 < num_vars_; ++lvl) {
+      const std::uint32_t v = target[lvl];
+      for (std::uint32_t cur = var2level_[v]; cur > lvl; --cur) {
+        swap_levels(cur - 1);
+      }
+    }
+  } catch (...) {
+    restoring_order_ = false;
+    throw;
+  }
+  restoring_order_ = false;
 }
 
 void Manager::set_auto_reorder(bool on) {
@@ -1146,6 +1241,9 @@ void Manager::install_budget(const guard::ResourceBudget& budget) {
       budget.deadline_ms == 0
           ? 0
           : budget_epoch_ns_ + budget.deadline_ms * 1'000'000ull;
+  margin_ns_ = budget.deadline_ms == 0
+                   ? 0
+                   : guard::checkpoint_margin_ns(budget.deadline_ms);
   last_soft_gc_live_ = 0;
 }
 
@@ -1199,6 +1297,23 @@ void Manager::throw_depth_exceeded() {
 
 void Manager::checkpoint(const char* what) {
   if (deadline_ns_ != 0) check_deadline(what);
+  // Fault site = the caller's name ("reachable", "eu", "eg", ...): an
+  // injected deadline lands at exactly the cooperative boundary a real
+  // one would, so `deadline@reachable:3` interrupts the third
+  // reachability iteration deterministically.
+  if (guard::fault_fire(guard::FaultKind::kDeadline, what)) {
+    ++stats_.budget_aborts;
+    throw guard::DeadlineExceeded(
+        std::string(what) + ": injected deadline", budget_spent());
+  }
+  // Deadline-margin checkpointing: when a persist hook is installed and
+  // the remaining wall-clock budget first dips below the margin, fire it
+  // (once) -- the run keeps going, but its state is now on disk.
+  if (deadline_ns_ != 0 && margin_ns_ != 0 &&
+      guard::ScopedCheckpointHook::armed() &&
+      diag::monotonic_ns() + margin_ns_ > deadline_ns_) {
+    guard::ScopedCheckpointHook::fire();
+  }
   if (memory_limit_ != 0 && memory_bytes() > memory_limit_) {
     ++stats_.budget_aborts;
     throw guard::MemoryLimitExceeded(
@@ -1209,6 +1324,10 @@ void Manager::checkpoint(const char* what) {
 }
 
 void Manager::recover_after_abort() {
+  // A reorder session the abort interrupted must be torn down first: the
+  // gc() below relies on exact refcounts, and the session's deferred
+  // cache flush has not run yet.
+  abort_reorder_session();
   // An aborted kernel leaves orphan nodes whose refs exactly cover their
   // in-kernel parents (every mk refs its children), so the refcount
   // census still balances; a collection reclaims the orphans and flushes
@@ -1225,6 +1344,12 @@ Bdd Manager::run_apply(ApplyOp op, Kernel&& kernel) {
   for (int attempt = 0;; ++attempt) {
     try {
       if (deadline_ns_ != 0) check_deadline(apply_op_name(op));
+      // Fault site "apply": the Nth top-level operation times out.
+      if (guard::fault_fire(guard::FaultKind::kDeadline, "apply")) {
+        throw guard::DeadlineExceeded(
+            std::string(apply_op_name(op)) + ": injected deadline",
+            budget_spent());
+      }
       return wrap(kernel());
     } catch (const guard::DeadlineExceeded&) {
       ++stats_.budget_aborts;

@@ -48,6 +48,10 @@ namespace symcex::diag {
 class Registry;
 }  // namespace symcex::diag
 
+namespace symcex::persist {
+struct ManagerAccess;  // snapshot plumbing (src/persist)
+}  // namespace symcex::persist
+
 namespace symcex::bdd {
 
 class Manager;
@@ -157,6 +161,7 @@ class Bdd {
 
  private:
   friend class Manager;
+  friend struct symcex::persist::ManagerAccess;
   Bdd(Manager* mgr, std::uint32_t idx);
 
   Manager* mgr_ = nullptr;
@@ -440,9 +445,48 @@ class Manager {
   void reorder_session_end(bool audit_after = true);
   [[nodiscard]] bool in_reorder_session() const { return order_session_; }
 
+  /// Tear down an in-progress reorder session after an abort (exhaustion
+  /// escaping mid-sift): restore the best order seen this session (the
+  /// sifter's own cooperative rollback never ran) and close the session,
+  /// running the deferred cache flush and audit.  No-op outside a session.
+  /// recover_after_abort() calls this first, so any exhaustion that
+  /// unwinds through run_apply or Manager::reorder leaves no session
+  /// dangling.  Fault-injection probes are suspended during the rollback.
+  void abort_reorder_session();
+
+  // -- snapshots (src/persist; DESIGN.md section 13) -------------------------
+  // The shared DAG reachable from a set of roots can be written to a
+  // versioned, checksummed binary snapshot and decoded into another (or a
+  // later) manager.  Node indices are not preserved -- the encoding names
+  // nodes by a deterministic traversal numbering -- but canonicity
+  // guarantees the decoded roots denote the same functions.  Both members
+  // are defined in src/persist (the format layer), like Manager::reorder()
+  // in src/order.
+
+  /// Decoded snapshot: roots[i] is the function saved under names[i].
+  struct LoadedSnapshot {
+    std::vector<Bdd> roots;
+    std::vector<std::string> names;
+  };
+
+  /// Write a self-contained snapshot of the DAG reachable from `roots`
+  /// (with the level map and pair-group metadata) to `os`.  `names[i]`
+  /// labels roots[i]; missing names default to "root:<i>".  Throws
+  /// persist::SnapshotError on I/O failure.
+  void save_snapshot(std::ostream& os, const std::vector<Bdd>& roots,
+                     const std::vector<std::string>& names = {}) const;
+
+  /// Load a snapshot written by save_snapshot into this manager.  The
+  /// manager must be freshly constructed (same variable count as the
+  /// snapshot, no interior nodes): the saved order installs wholesale and
+  /// the DAG decodes through mk(), then audit() gates the result.  Throws
+  /// persist::SnapshotError (typed, recoverable) on any corruption.
+  LoadedSnapshot load_snapshot(std::istream& is);
+
  private:
   friend class Bdd;
   friend class FixpointGuard;
+  friend struct symcex::persist::ManagerAccess;
 
   static constexpr std::uint32_t kFalse = 0;
   static constexpr std::uint32_t kTrue = 1;
@@ -549,6 +593,13 @@ class Manager {
   /// aborted kernel's orphan nodes are reclaimed and the computed cache
   /// (which may reference them) is flushed.
   void recover_after_abort();
+  /// Bubble every variable to its level in `target` (a level -> variable
+  /// permutation) via adjacent swaps.  Caller brackets with a session.
+  void restore_order(const std::vector<std::uint32_t>& target);
+  /// Does every reorder group currently occupy contiguous levels?  Used
+  /// to keep mid-block-move layouts out of the session-best order (an
+  /// abort restores that order, and the audit rejects split groups).
+  [[nodiscard]] bool groups_contiguous() const;
   [[noreturn]] void throw_depth_exceeded();
   void check_deadline(const char* what);
   [[nodiscard]] std::uint64_t elapsed_ms() const;
@@ -598,6 +649,11 @@ class Manager {
   std::size_t displaced_vars_ = 0;  // #vars with var2level_[v] != v
   bool order_session_ = false;      // inside reorder_session brackets
   bool in_reorder_ = false;         // inside Manager::reorder()
+  bool restoring_order_ = false;    // inside restore_order (no best-tracking)
+  // Best order seen inside the current reorder session and its live-node
+  // count, maintained by swap_levels; abort_reorder_session restores it.
+  std::vector<std::uint32_t> session_best_order_;
+  std::size_t session_best_nodes_ = 0;
   bool auto_reorder_ = false;       // growth-triggered sifting enabled
   std::size_t reorder_baseline_ = 2;  // live nodes after the last reorder
   static constexpr std::size_t kReorderFloor = 4096;  // min live to trigger
@@ -612,6 +668,7 @@ class Manager {
   std::size_t memory_limit_ = 0;      // 0 = unlimited
   std::uint64_t deadline_ns_ = 0;     // absolute steady-clock ns; 0 = none
   std::uint64_t budget_epoch_ns_ = 0;  // steady-clock ns at install
+  std::uint64_t margin_ns_ = 0;  // checkpoint-hook margin before deadline
   std::size_t depth_ = 0;             // live guarded kernel frames
   std::uint32_t poll_ = 0;            // deadline poll tick
   std::size_t last_soft_gc_live_ = 0;  // thrash guard for soft GCs

@@ -32,6 +32,7 @@
 #include "guard/guard.hpp"
 #include "core/eval_context.hpp"
 #include "core/trace.hpp"
+#include "persist/persist.hpp"
 #include "ts/transition_system.hpp"
 
 namespace symcex::core {
@@ -63,6 +64,15 @@ struct CheckOptions {
   /// SYMCEX_EVIDENCE_DIR environment variable" (evidence::default_dir());
   /// both empty disables emission.
   std::string evidence_dir;
+  /// Directory crash-safe checkpoints (src/persist; DESIGN.md §13) are
+  /// written to when a budgeted check exhausts its budget, and -- when a
+  /// deadline budget is installed -- once shortly before the deadline
+  /// expires (the margin hook; SYMCEX_CHECKPOINT_MARGIN_MS).  Empty means
+  /// "use the SYMCEX_CHECKPOINT_DIR environment variable"; both empty
+  /// disables checkpointing.
+  std::string checkpoint_dir;
+  /// Model name stored in checkpoints and used in their filenames.
+  std::string model_name = "model";
 };
 
 /// Counters the checker accumulates (reset with reset_stats()).
@@ -115,9 +125,15 @@ struct CheckOutcome {
   std::optional<Trace> trace;
   /// True when `trace` is an incomplete prefix salvaged from an abort.
   bool trace_is_partial = false;
+  /// Path of the crash-safe checkpoint written for this check (set when
+  /// checkpointing is enabled and the run was interrupted; see
+  /// core::resume_check).  Empty on a known verdict.
+  std::string checkpoint_path;
 
   [[nodiscard]] bool known() const { return verdict != Verdict::kUnknown; }
 };
+
+class LoopScope;  // RAII frontier publisher (checker.cpp)
 
 /// The symbolic model checker.  Binds to one finalized TransitionSystem;
 /// fairness constraints registered on the system are honoured by the
@@ -217,6 +233,49 @@ class Checker {
   [[nodiscard]] const CheckStats& stats() const { return stats_; }
   void reset_stats() { stats_ = CheckStats{}; }
 
+  // -- crash-safe checkpoint/resume (src/persist; DESIGN.md §13) -------------
+
+  /// The effective checkpoint directory: CheckOptions::checkpoint_dir, or
+  /// SYMCEX_CHECKPOINT_DIR when that is empty.  Empty = disabled.
+  [[nodiscard]] std::string checkpoint_dir() const;
+
+  /// Write a checkpoint for `spec` right now: the transition system, the
+  /// effective options, completed results (reachable set, fair states),
+  /// and the fixpoint frontiers -- salvaged ones after an abort, plus the
+  /// currently running loops when `include_live` is set (the deadline-
+  /// margin hook fires mid-fixpoint).  Returns the path, or "" when
+  /// checkpointing is disabled.  A checkpoint failure never masks the
+  /// check verdict: I/O errors are swallowed and "" is returned.
+  std::string write_checkpoint(const ctl::Formula::Ptr& spec,
+                               const guard::BudgetSpent& spent,
+                               bool include_live);
+
+  /// Install the completed fair-states set from a snapshot (resume path;
+  /// skips recomputing CheckFairEG(true)).
+  void seed_fair(const bdd::Bdd& fair);
+
+  /// Install interrupted fixpoint frontiers from a snapshot.  Each loop
+  /// (eu / eu_rings / eg / fair_eg_rings) consumes the frontier whose
+  /// operands match its own (canonicity makes that exact handle equality)
+  /// and continues from the saved iterate instead of its base case; a
+  /// monotone fixpoint continued from one of its own iterates converges
+  /// to the identical result, so the resumed verdict, trace, and evidence
+  /// bundle are byte-identical to an uninterrupted run's.
+  void seed_frontiers(std::vector<persist::Frontier> frontiers);
+
+  /// Clear the per-check crash-safe state (salvaged frontiers, margin
+  /// checkpoint path).  check() and Explainer::check call this on entry.
+  void reset_checkpoint_state();
+  /// Path the deadline-margin hook wrote during the current check, "" if
+  /// it never fired.  An aborted run falls back to this when the
+  /// abort-time checkpoint write itself fails.
+  [[nodiscard]] const std::string& pending_checkpoint() const {
+    return pending_checkpoint_;
+  }
+  /// Remove the margin checkpoint after a completed run (a known verdict
+  /// needs no resume point).
+  void discard_pending_checkpoint();
+
  private:
   ts::TransitionSystem& ts_;
   CheckOptions options_;
@@ -244,6 +303,55 @@ class Checker {
     FairEG result;
   };
   std::vector<FairEGEntry> faireg_memo_;
+
+  // Crash-safe checkpoint state.  Every fixpoint loop keeps one LiveLoop
+  // entry on this stack, refreshed each iteration (two handle assigns);
+  // on exception unwind LoopScope moves the entry to salvaged_, and the
+  // deadline-margin hook reads the stack directly while the loops run.
+  struct LiveLoop {
+    const char* loop;                      // guard loop name ("eu", ...)
+    std::vector<bdd::Bdd> operands;        // the loop's inputs, for matching
+    bdd::Bdd z;                            // last completed iterate
+    const std::vector<bdd::Bdd>* rings;    // ring loops: the whole sequence
+    std::uint64_t iteration = 0;
+  };
+  std::vector<LiveLoop> live_loops_;
+  std::vector<persist::Frontier> salvaged_;
+  std::vector<persist::Frontier> resume_frontiers_;
+  std::string pending_checkpoint_;  // written by the margin hook this check
+
+  /// Pop and return the resume frontier matching (loop, operands), if any.
+  std::optional<persist::Frontier> take_frontier(
+      const char* loop, const std::vector<bdd::Bdd>& operands);
+  /// Collect the frontiers a checkpoint should carry (salvaged + reach
+  /// progress + optionally the live stack).
+  std::vector<persist::Frontier> collect_frontiers(bool include_live);
+
+  friend class LoopScope;
 };
+
+/// A check rehydrated from a crash-safe checkpoint: the rebuilt, verified
+/// transition system, a checker with the snapshot's options and seeds
+/// (completed sets installed, interrupted frontiers staged), and the
+/// specification to re-run.  `checker->check(spec)` continues the
+/// interrupted fixpoints from their saved iterates and produces a verdict,
+/// trace, and evidence bundle byte-identical to an uninterrupted run's.
+struct ResumedCheck {
+  std::unique_ptr<ts::TransitionSystem> system;
+  std::unique_ptr<Checker> checker;
+  ctl::Formula::Ptr spec;
+  std::string formula;             ///< display text of spec
+  std::string model_name;
+  guard::BudgetSpent prior_spent;  ///< consumption of the interrupted run
+};
+
+/// Load a checkpoint written by Checker/Explainer and stage the resume.
+/// `extra` supplies the options a snapshot does not store (memoize,
+/// evidence_dir, checkpoint_dir for re-checkpointing); the snapshot's own
+/// image method, care-set, COI, and reorder flags always win, so the
+/// resumed run replays the interrupted configuration.  Throws
+/// persist::SnapshotError on a corrupt or incompatible snapshot.
+[[nodiscard]] ResumedCheck resume_check(const std::string& path,
+                                        const CheckOptions& extra = {});
 
 }  // namespace symcex::core

@@ -88,4 +88,39 @@ const ResourceBudget& ScopedBudget::current() {
   return env_budget;
 }
 
+namespace {
+// Innermost checkpoint hook for this thread (nullptr = none installed).
+thread_local ScopedCheckpointHook* g_checkpoint_hook = nullptr;
+}  // namespace
+
+ScopedCheckpointHook::ScopedCheckpointHook(std::function<void()> hook)
+    : hook_(std::move(hook)), prev_(g_checkpoint_hook) {
+  g_checkpoint_hook = this;
+}
+
+ScopedCheckpointHook::~ScopedCheckpointHook() { g_checkpoint_hook = prev_; }
+
+bool ScopedCheckpointHook::armed() {
+  return g_checkpoint_hook != nullptr && !g_checkpoint_hook->fired_ &&
+         g_checkpoint_hook->hook_ != nullptr;
+}
+
+void ScopedCheckpointHook::fire() {
+  if (!armed()) return;
+  // Disarm before running: a checkpoint probe inside the hook itself must
+  // not recurse into it.
+  g_checkpoint_hook->fired_ = true;
+  try {
+    g_checkpoint_hook->hook_();
+  } catch (...) {
+    // A failed periodic checkpoint must not abort the run it insures.
+  }
+}
+
+std::uint64_t checkpoint_margin_ns(std::uint64_t deadline_ms) {
+  const std::uint64_t margin_ms =
+      env_u64("SYMCEX_CHECKPOINT_MARGIN_MS", deadline_ms / 8);
+  return margin_ms * 1'000'000ull;
+}
+
 }  // namespace symcex::guard

@@ -29,8 +29,10 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <stdexcept>
 #include <string>
+#include <utility>
 
 namespace symcex::guard {
 
@@ -198,5 +200,43 @@ class ScopedBudget {
   ResourceBudget budget_;
   const ResourceBudget* prev_;
 };
+
+/// Deadline-margin checkpoint hook (thread-local, nestable; the innermost
+/// scope wins).  While one is installed, a deadline-budgeted
+/// bdd::Manager's cooperative checkpoints fire it once when the remaining
+/// wall-clock budget first drops below the checkpoint margin -- i.e.
+/// "this run will probably not finish; persist what we have while there
+/// is still time".  src/core installs one around each check when
+/// checkpointing is configured; the hook body writes the snapshot
+/// (src/persist) from the live fixpoint frontiers.
+///
+/// The hook runs synchronously on the probing thread, between fixpoint
+/// iterations (FixpointGuard::tick), so the state it reads is a
+/// consistent completed iterate.  It fires at most once per installation.
+class ScopedCheckpointHook {
+ public:
+  explicit ScopedCheckpointHook(std::function<void()> hook);
+  ~ScopedCheckpointHook();
+
+  ScopedCheckpointHook(const ScopedCheckpointHook&) = delete;
+  ScopedCheckpointHook& operator=(const ScopedCheckpointHook&) = delete;
+
+  /// Is a not-yet-fired hook installed on this thread?
+  [[nodiscard]] static bool armed();
+  /// Fire the innermost armed hook (then disarm it).  Exceptions from the
+  /// hook are swallowed: a failed periodic checkpoint must not abort the
+  /// run it was trying to insure.
+  static void fire();
+
+ private:
+  std::function<void()> hook_;
+  bool fired_ = false;
+  ScopedCheckpointHook* prev_;
+};
+
+/// The wall-clock margin (nanoseconds) below which a deadline-budgeted
+/// manager fires the checkpoint hook: SYMCEX_CHECKPOINT_MARGIN_MS when
+/// set, else one eighth of the deadline.
+[[nodiscard]] std::uint64_t checkpoint_margin_ns(std::uint64_t deadline_ms);
 
 }  // namespace symcex::guard

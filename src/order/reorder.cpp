@@ -174,7 +174,11 @@ SiftResult sift(bdd::Manager& mgr, const SiftOptions& options) {
       if (!res.aborted) ++res.blocks_sifted;
     }
   } catch (...) {
-    mgr.reorder_session_end(/*audit_after=*/false);
+    // Exhaustion thrown from inside a block move (an injected fault, a
+    // deadline poll in swap_levels) skipped the settle-at-best rollback
+    // above: restore the best order seen and close the session, leaving
+    // the manager audit-clean for the caller's recovery.
+    mgr.abort_reorder_session();
     throw;
   }
   mgr.reorder_session_end();
@@ -228,7 +232,7 @@ SiftResult window_permute(bdd::Manager& mgr, std::size_t window) {
       ++res.blocks_sifted;
     }
   } catch (...) {
-    mgr.reorder_session_end(/*audit_after=*/false);
+    mgr.abort_reorder_session();
     throw;
   }
   mgr.reorder_session_end();

@@ -94,6 +94,17 @@ class Parser {
   }
 
   Value parse_value() {
+    // Nesting is recursion: without a cap, a pathological "[[[[..." input
+    // turns the parser's stack into the attack surface.  256 levels is
+    // far beyond any bundle the emitters produce.
+    if (depth_ >= kMaxDepth) fail("nesting too deep");
+    ++depth_;
+    const Value v = parse_value_inner();
+    --depth_;
+    return v;
+  }
+
+  Value parse_value_inner() {
     skip_ws();
     switch (peek()) {
       case '{':
@@ -336,8 +347,11 @@ class Parser {
     return v;
   }
 
+  static constexpr std::size_t kMaxDepth = 256;
+
   std::string_view text_;
   std::size_t pos_ = 0;
+  std::size_t depth_ = 0;
 };
 
 }  // namespace detail

@@ -20,8 +20,10 @@
 //                          the semantic duties hold on the decoded states
 //   certificate[name]      every recorded obligation is discharged (ok)
 //
-// Exit status 0 iff every bundle named on the command line verifies; any
-// failure prints "symcex-verify: FAIL <name>: <detail>" and exits 1.
+// Exit codes: 0 iff every bundle named on the command line verifies; 1
+// when any bundle fails verification (a failure prints "symcex-verify:
+// FAIL <name>: <detail>"); 2 on a usage error or an unreadable input
+// file.  Verification failure takes precedence over I/O failure.
 
 #include <cstddef>
 #include <cstdint>
@@ -444,11 +446,17 @@ Summary verify_bundle(const Value& root) {
   return s;
 }
 
+// Exit codes (see --help): 0 every bundle verified, 1 at least one bundle
+// failed verification, 2 usage error or unreadable input.  A verification
+// failure takes precedence over an I/O failure when both occur, so CI can
+// distinguish "the evidence is wrong" from "the file went missing".
+enum : int { kExitOk = 0, kExitFailed = 1, kExitUsageOrIo = 2 };
+
 int verify_file(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   if (!in) {
     std::cerr << "symcex-verify: cannot read " << path << "\n";
-    return 1;
+    return kExitUsageOrIo;
   }
   std::ostringstream buffer;
   buffer << in.rdbuf();
@@ -459,28 +467,66 @@ int verify_file(const std::string& path) {
               << s.steps << " steps, " << s.conjuncts << " conjuncts, "
               << s.duties << " duties, " << s.certificates
               << " certificates\n";
-    return 0;
+    return kExitOk;
   } catch (const VerifyError& e) {
     std::cerr << "symcex-verify: FAIL " << e.check << ": " << e.detail
               << " (" << path << ")\n";
-    return 1;
+    return kExitFailed;
   } catch (const std::exception& e) {
+    // Unparseable JSON is a failed bundle, not an I/O problem: the file
+    // was readable, its content did not verify.
     std::cerr << "symcex-verify: FAIL json: " << e.what() << " (" << path
               << ")\n";
-    return 1;
+    return kExitFailed;
   }
+}
+
+void print_help() {
+  std::cout <<
+      "usage: symcex-verify BUNDLE.json [BUNDLE.json ...]\n"
+      "\n"
+      "Re-verify SymCeX evidence bundles from their engine-independent\n"
+      "JSON encoding alone (no BDD library is linked; see the trust\n"
+      "argument at the top of tools/symcex_verify.cpp).\n"
+      "\n"
+      "exit codes:\n"
+      "  0  every bundle verified\n"
+      "  1  at least one bundle failed verification (bad certificate,\n"
+      "     broken trace, malformed JSON)\n"
+      "  2  usage error, or an input file could not be read\n"
+      "\n"
+      "When both kinds of problem occur across multiple bundles, the\n"
+      "verification failure wins: exit 1.\n";
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) {
-    std::cerr << "usage: symcex-verify BUNDLE.json [BUNDLE.json ...]\n";
-    return 2;
+    std::cerr << "usage: symcex-verify BUNDLE.json [BUNDLE.json ...]\n"
+                 "       symcex-verify --help\n";
+    return kExitUsageOrIo;
   }
-  int status = 0;
+  const std::string first = argv[1];
+  if (first == "--help" || first == "-h") {
+    print_help();
+    return kExitOk;
+  }
+  bool any_failed = false;
+  bool any_io = false;
   for (int i = 1; i < argc; ++i) {
-    if (verify_file(argv[i]) != 0) status = 1;
+    switch (verify_file(argv[i])) {
+      case kExitFailed:
+        any_failed = true;
+        break;
+      case kExitUsageOrIo:
+        any_io = true;
+        break;
+      default:
+        break;
+    }
   }
-  return status;
+  if (any_failed) return kExitFailed;
+  if (any_io) return kExitUsageOrIo;
+  return kExitOk;
 }
