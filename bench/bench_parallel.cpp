@@ -1,0 +1,128 @@
+// Scaling of the parallel evaluation core (DESIGN.md §14): the same
+// sweeps and fixpoints at 1/2/4/8 worker threads, wall-clock timed.  The
+// result set is the identical canonical BDD at every thread count -- the
+// per-iteration byte-equality matrix lives in tests/parallel_test.cpp --
+// so the ONLY thing that may vary across the Arg(threads) rows is time.
+//
+//   * counter-bank reachability: the forward BFS whose frontiers are wide
+//     unions of per-bank values -- the disjunctive slicer's best case;
+//   * counter-bank EF (an EU fixpoint): backward sweeps through the same
+//     state space, exercising preimage fan-out;
+//   * Seitz arbiter image sweep: one clustered image of the full
+//     reachable set, repeated -- sweep throughput without fixpoint
+//     overhead;
+//   * Seitz arbiter liveness (AG (r1 -> AF a1)): an end-to-end fair-EG
+//     check, the shape the paper's counterexample generator runs.
+//
+// CI runs this as the `parallel` job's scaling probe and publishes the
+// numbers as BENCH_parallel.json:
+//
+//   bench_parallel --benchmark_out=BENCH_parallel.json
+//                  --benchmark_out_format=json   (one command line)
+//
+// Thread counts above the machine's core count measure oversubscription,
+// not the engine; compare rows against nproc.
+
+#include <memory>
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hpp"
+
+#include "bdd/bdd.hpp"
+#include "core/checker.hpp"
+#include "core/eval_context.hpp"
+#include "models/models.hpp"
+#include "ts/transition_system.hpp"
+
+namespace {
+
+using namespace symcex;
+
+std::unique_ptr<ts::TransitionSystem> bank() {
+  // 24 state bits: enough work per sweep that the fan-out amortizes its
+  // slicing and wake-up overhead on a multicore host.
+  return models::counter_bank({.banks = 12, .width = 2});
+}
+
+/// Forward reachability from scratch: a fresh system per iteration (the
+/// reachable set is cached after the first call), with the EvalContext
+/// installing its worker pool on the system so the BFS frontiers fan out.
+void BM_CounterBankReachability(benchmark::State& state) {
+  const auto threads = static_cast<unsigned>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto m = bank();
+    core::EvalContext context(*m, ts::ImageMethod::kPartitioned,
+                              false, threads);
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(m->reachable());
+  }
+}
+BENCHMARK(BM_CounterBankReachability)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+/// The EU engine end to end: EF all_max is E[true U all_max], a backward
+/// least fixpoint whose iterates sweep the whole bank lattice.
+void BM_CounterBankEU(benchmark::State& state) {
+  const auto threads = static_cast<unsigned>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto m = bank();
+    core::Checker checker(*m, {.image_method = ts::ImageMethod::kPartitioned,
+                               .threads = threads});
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(checker.check("EF all_max"));
+  }
+}
+BENCHMARK(BM_CounterBankEU)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+/// Sweep throughput in isolation: one clustered image of the arbiter's
+/// full reachable set per iteration, on a long-lived context.  A 9-user
+/// round-robin arbiter gives the slicer a relation and operand with real
+/// width (the Seitz arbiter collapses to one small cluster).
+void BM_ArbiterImageSweep(benchmark::State& state) {
+  const auto threads = static_cast<unsigned>(state.range(0));
+  auto m = models::round_robin_arbiter({.users = 9});
+  const bdd::Bdd reach = m->reachable();
+  core::EvalContext context(*m, ts::ImageMethod::kPartitioned,
+                            false, threads);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(context.image(reach));
+  }
+  state.counters["clusters"] =
+      static_cast<double>(m->trans_clusters().size());
+}
+BENCHMARK(BM_ArbiterImageSweep)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
+
+/// End-to-end liveness on the arbiter: reachability, fair EG, and the
+/// witness preimages all route through the shared pool.
+void BM_ArbiterLiveness(benchmark::State& state) {
+  const auto threads = static_cast<unsigned>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto m = models::seitz_arbiter();
+    core::Checker checker(*m, {.image_method = ts::ImageMethod::kPartitioned,
+                               .threads = threads});
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(checker.check("AG (r1 -> AF a1)"));
+  }
+}
+BENCHMARK(BM_ArbiterLiveness)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  symcex::bench::StatsExport stats(&argc, argv);
+  ::benchmark::Initialize(&argc, argv);
+  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  return 0;
+}

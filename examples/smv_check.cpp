@@ -14,6 +14,12 @@
 //                   per spec into DIR; the SYMCEX_EVIDENCE_DIR environment
 //                   variable does the same when the flag is absent.  Each
 //                   bundle re-verifies standalone with tools/symcex-verify.
+//   --threads N     evaluate with N worker threads (the parallel core,
+//                   DESIGN.md §14).  Mirrors the SYMCEX_THREADS
+//                   environment variable (the flag wins when both are
+//                   given); verdicts, traces, evidence bundles, and exit
+//                   codes are identical at every N -- N = 1 runs the
+//                   byte-identical sequential engine.
 //   --resume FILE   continue an interrupted check from a crash-safe
 //                   checkpoint (*.sxsnap) instead of compiling a model:
 //                   the snapshot's transition system, options, completed
@@ -111,10 +117,14 @@ void print_raw_trace(const symcex::ts::TransitionSystem& system,
 /// staged frontiers make the fixpoints continue from their saved
 /// iterates), print, and emit evidence like a normal run.
 int run_resume(const std::string& snapshot_path, const std::string& evidence_dir,
-               bool shorten_traces) {
+               bool shorten_traces, unsigned threads) {
   using namespace symcex;
+  // Threads are not recorded in checkpoints (the result does not depend
+  // on them), so the resumed run takes the flag / environment like a
+  // fresh one.
   core::ResumedCheck resumed = core::resume_check(
-      snapshot_path, core::CheckOptions{.evidence_dir = evidence_dir});
+      snapshot_path,
+      core::CheckOptions{.threads = threads, .evidence_dir = evidence_dir});
   auto& system = *resumed.system;
   std::cout << "resumed from " << snapshot_path << ": model '"
             << resumed.model_name << "', "
@@ -159,6 +169,7 @@ int main(int argc, char** argv) {
   bool shorten_traces = false;
   std::size_t simulate_steps = 0;
   std::uint64_t seed = 1;
+  unsigned threads = 0;  // 0 = read SYMCEX_THREADS (1 when unset)
   std::string dot_path;
   std::string evidence_dir;
   std::string resume_path;
@@ -179,10 +190,18 @@ int main(int argc, char** argv) {
       evidence_dir = argv[++i];
     } else if (arg == "--resume" && i + 1 < argc) {
       resume_path = argv[++i];
+    } else if (arg == "--threads" && i + 1 < argc) {
+      char* end = nullptr;
+      const unsigned long v = std::strtoul(argv[++i], &end, 10);
+      if (end == argv[i] || *end != '\0' || v == 0 || v > 64) {
+        std::cerr << "error: --threads expects an integer in [1, 64]\n";
+        return 2;
+      }
+      threads = static_cast<unsigned>(v);
     } else if (!arg.empty() && arg[0] == '-') {
       std::cerr << "usage: smv_check [--lint] [--shorten] [--simulate N] "
                    "[--seed S] [--dot FILE] [--evidence DIR] "
-                   "[--resume FILE.sxsnap] [model.smv]\n";
+                   "[--threads N] [--resume FILE.sxsnap] [model.smv]\n";
       return 2;
     } else {
       path = arg;
@@ -191,7 +210,7 @@ int main(int argc, char** argv) {
 
   if (!resume_path.empty()) {
     try {
-      return run_resume(resume_path, evidence_dir, shorten_traces);
+      return run_resume(resume_path, evidence_dir, shorten_traces, threads);
     } catch (const persist::SnapshotError& e) {
       std::cerr << "error: cannot resume (" << e.check() << "): " << e.what()
                 << "\n";
@@ -253,8 +272,9 @@ int main(int argc, char** argv) {
     }
 
     const std::string model_name = path.empty() ? "demo" : path;
-    core::Checker checker(
-        system, {.evidence_dir = evidence_dir, .model_name = model_name});
+    core::Checker checker(system, {.threads = threads,
+                                   .evidence_dir = evidence_dir,
+                                   .model_name = model_name});
     core::Explainer explainer(checker);
     int failures = 0;
     int unknowns = 0;

@@ -33,9 +33,16 @@
 // without cycles.  When nothing is armed a probe is one relaxed atomic
 // load -- cheap enough for mk()'s allocation branch.
 //
-// This is a test/CI harness: the process-wide injector is not
-// thread-safe against concurrent configure(); probes themselves are
-// guarded by a mutex once armed.
+// This is a test/CI harness.  Probes are thread-safe: armed-entry
+// matching and the countdown decrement happen under a mutex, so under a
+// parallel sweep (DESIGN.md §14) exactly one worker consumes each armed
+// entry -- which worker is scheduling-dependent, but the engine-level
+// outcome (the region aborts, the coordinator rethrows, the recovery
+// path runs once) is not.  Suspension is thread-local: a worker
+// unwinding through recovery code suppresses only its own probes, never
+// a sibling's.  configure()/clear() themselves are not meant to race
+// with in-flight probes -- arm the injector before the run, as the
+// SYMCEX_FAULT_SPEC path does.
 
 #pragma once
 
@@ -107,7 +114,8 @@ class FaultInjector {
   /// RAII probe suspension for recovery code: the rollback that runs
   /// while unwinding from an injected fault must not itself be faulted,
   /// or "recover from one failure" silently becomes "survive arbitrarily
-  /// many".  Nestable.
+  /// many".  Nestable, and thread-local: a worker suspending its own
+  /// probes never masks a sibling's.
   class Suspend {
    public:
     Suspend();

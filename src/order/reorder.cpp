@@ -247,7 +247,8 @@ namespace symcex::bdd {
 // Defined here rather than in bdd.cpp: the manager owns the trigger and
 // the counters, but the pass itself is order-layer policy.
 bool Manager::reorder() {
-  if (num_vars_ < 2 || depth_ != 0 || in_reorder_ || order_session_) {
+  if (num_vars_ < 2 || ctxs_.front()->depth != 0 || in_reorder_ ||
+      order_session_ || concurrent_.load(std::memory_order_relaxed)) {
     return false;
   }
   in_reorder_ = true;

@@ -9,6 +9,7 @@
 #include <unordered_set>
 
 #include "diag/metrics.hpp"
+#include "ts/parallel.hpp"
 
 namespace symcex::ts {
 
@@ -484,6 +485,41 @@ bdd::Bdd TransitionSystem::preimage(const bdd::Bdd& states, ImageMethod method,
   return acc;
 }
 
+bdd::Bdd TransitionSystem::image_parallel(const bdd::Bdd& states,
+                                          ImageMethod method,
+                                          const DontCare* care) const {
+  if (parallel_ == nullptr || parallel_->threads() <= 1) {
+    return image(states, method, care);
+  }
+  // The monolithic relation is built lazily; force it on the coordinator
+  // before the region opens so no worker races the cache fill.
+  if (care == nullptr &&
+      (method == ImageMethod::kMonolithic || clusters_.size() == 1)) {
+    (void)trans();
+  }
+  return sliced_parallel_sweep(
+      *mgr_, *parallel_, states,
+      [&](const bdd::Bdd& s) { return image(s, method, care); });
+}
+
+bdd::Bdd TransitionSystem::preimage_parallel(const bdd::Bdd& states,
+                                             ImageMethod method,
+                                             const DontCare* care) const {
+  if (parallel_ == nullptr || parallel_->threads() <= 1) {
+    return preimage(states, method, care);
+  }
+  if (care == nullptr &&
+      (method == ImageMethod::kMonolithic || clusters_.size() == 1)) {
+    (void)trans();
+  }
+  // Per-slice care minimization and the final & care->set are sound under
+  // the union: (A & C) | (B & C) == (A | B) & C, and each slice's sweep
+  // returns exactly (EX slice) & C.
+  return sliced_parallel_sweep(
+      *mgr_, *parallel_, states,
+      [&](const bdd::Bdd& s) { return preimage(s, method, care); });
+}
+
 const bdd::Bdd& TransitionSystem::reachable() const {
   require_finalized("reachable");
   if (reachable_.is_null()) {
@@ -512,7 +548,9 @@ const bdd::Bdd& TransitionSystem::reachable() const {
       fixpoint_guard.tick();
       ++iteration;
       if (diag_on) diag::Registry::global().add("reach.iterations");
-      const bdd::Bdd img = image(frontier);
+      // image_parallel == image (same canonical function) at any thread
+      // count; with no executor installed this IS the plain image call.
+      const bdd::Bdd img = image_parallel(frontier);
       frontier = img - reached;
       reached |= frontier;
     }

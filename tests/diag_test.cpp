@@ -5,6 +5,8 @@
 #include <limits>
 #include <sstream>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -348,6 +350,53 @@ TEST(SatCountSaturation, ExactBelowTheSaturationPoint) {
   // var(0) constrains one of 1000 variables: 2^999 assignments, which is
   // representable exactly in a double.
   EXPECT_EQ(m.var(0).sat_count(1000), std::ldexp(1.0, 999));
+}
+
+// ---------------------------------------------------------------------------
+// Concurrency: the global registry is shared by every worker of a parallel
+// sweep (DESIGN.md §14), so all recording paths must be safe -- and lossless
+// -- under concurrent use.  Run under TSan (-DSYMCEX_TSAN=ON) this is the
+// data-race oracle for the whole diag layer.
+// ---------------------------------------------------------------------------
+
+TEST_F(DiagTest, RegistryIsRaceFreeAndLosslessUnderEightThreads) {
+  constexpr unsigned kThreads = 8;
+  constexpr std::uint64_t kIters = 2000;
+  diag::Registry r;
+  std::vector<std::thread> pool;
+  pool.reserve(kThreads);
+  for (unsigned t = 0; t < kThreads; ++t) {
+    pool.emplace_back([&r, t] {
+      // Each thread hammers one private counter (checks nothing is lost),
+      // one shared counter (checks increments do not race each other), a
+      // shared gauge, a shared timer, and the thread-local phase stack.
+      const std::string mine = "hammer.t" + std::to_string(t);
+      for (std::uint64_t i = 0; i < kIters; ++i) {
+        r.add(mine);
+        r.add("hammer.shared");
+        r.gauge_set("hammer.gauge", static_cast<double>(t));
+        r.timer_add("hammer.timer", 1, 1);
+        {
+          const diag::PhaseScope phase("hammer");
+          r.add("hammer.phased");
+        }
+      }
+    });
+  }
+  for (auto& th : pool) th.join();
+  for (unsigned t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(r.counter("", "hammer.t" + std::to_string(t)), kIters);
+  }
+  EXPECT_EQ(r.counter("", "hammer.shared"), kThreads * kIters);
+  EXPECT_EQ(r.counter("hammer", "hammer.phased"), kThreads * kIters);
+  EXPECT_EQ(r.timer("", "hammer.timer").count, kThreads * kIters);
+  EXPECT_EQ(r.timer("", "hammer.timer").ns, kThreads * kIters);
+  // The gauge's last writer is scheduling-dependent, but both last and max
+  // must be one of the written values, and max is the largest thread id.
+  const diag::GaugeValue g = r.gauge("", "hammer.gauge");
+  EXPECT_GE(g.last, 0.0);
+  EXPECT_LT(g.last, static_cast<double>(kThreads));
+  EXPECT_EQ(g.max, static_cast<double>(kThreads - 1));
 }
 
 }  // namespace
