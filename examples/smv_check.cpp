@@ -51,7 +51,9 @@
 #include "evidence/evidence.hpp"
 #include "guard/guard.hpp"
 #include "persist/persist.hpp"
+#include "serve/serve.hpp"
 #include "smv/smv.hpp"
+#include "version.hpp"
 
 namespace {
 
@@ -166,6 +168,7 @@ int main(int argc, char** argv) {
   using namespace symcex;
 
   bool lint_only = false;
+  bool hash_only = false;
   bool shorten_traces = false;
   std::size_t simulate_steps = 0;
   std::uint64_t seed = 1;
@@ -176,8 +179,13 @@ int main(int argc, char** argv) {
   std::string path;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (arg == "--lint") {
+    if (arg == "--version") {
+      std::cout << version::build_info("smv_check") << "\n";
+      return 0;
+    } else if (arg == "--lint") {
       lint_only = true;
+    } else if (arg == "--hash") {
+      hash_only = true;
     } else if (arg == "--shorten") {
       shorten_traces = true;
     } else if (arg == "--simulate" && i + 1 < argc) {
@@ -199,9 +207,10 @@ int main(int argc, char** argv) {
       }
       threads = static_cast<unsigned>(v);
     } else if (!arg.empty() && arg[0] == '-') {
-      std::cerr << "usage: smv_check [--lint] [--shorten] [--simulate N] "
-                   "[--seed S] [--dot FILE] [--evidence DIR] "
-                   "[--threads N] [--resume FILE.sxsnap] [model.smv]\n";
+      std::cerr << "usage: smv_check [--lint] [--hash] [--shorten] "
+                   "[--simulate N] [--seed S] [--dot FILE] [--evidence DIR] "
+                   "[--threads N] [--resume FILE.sxsnap] [--version] "
+                   "[model.smv]\n";
       return 2;
     } else {
       path = arg;
@@ -247,6 +256,37 @@ int main(int argc, char** argv) {
   try {
     smv::SmvModel model = smv::compile(source);
     auto& system = model.system();
+
+    if (hash_only) {
+      // The serving layer's cache-key ingredients (DESIGN.md §15): the
+      // structural checkpoint fingerprint, the semantic model
+      // fingerprint, and per spec the canonical formula hash + the
+      // verdict-cache key a daemon would use for this (model, spec).
+      const std::string name = path.empty() ? "<demo>" : path;
+      std::cout << name << "\n"
+                << "  ts fingerprint:    "
+                << serve::hex16(system.fingerprint()) << "\n";
+      std::optional<serve::ModelFingerprint> fp;
+      try {
+        fp = serve::model_fingerprint(system);
+        std::cout << "  model fingerprint: " << fp->hex() << "\n";
+      } catch (const std::length_error&) {
+        std::cout << "  model fingerprint: (uncacheable: cover cap "
+                     "exceeded)\n";
+      }
+      for (std::size_t i = 0; i < model.specs().size(); ++i) {
+        std::cout << "  SPEC " << model.spec_texts()[i] << "\n"
+                  << "    formula hash: "
+                  << serve::hex16(ctl::formula_hash(model.specs()[i]))
+                  << "\n";
+        if (fp) {
+          std::cout << "    cache key:    "
+                    << serve::cache_key(*fp, model.specs()[i]) << "\n";
+        }
+      }
+      return 0;
+    }
+
     std::cout << "model compiled: " << system.num_state_vars()
               << " boolean state variables, "
               << system.count_states(system.reachable())

@@ -125,7 +125,8 @@ std::string Checker::write_checkpoint(const ctl::Formula::Ptr& spec,
   input.frontiers = collect_frontiers(include_live);
   const std::string path =
       dir + "/" +
-      persist::checkpoint_basename(options_.model_name, ctl::to_string(spec));
+      persist::checkpoint_basename(options_.model_name, ctl::to_string(spec),
+                                   ts_.fingerprint());
   try {
     persist::save_check_snapshot(path, input);
   } catch (const std::exception&) {

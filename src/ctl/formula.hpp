@@ -15,6 +15,7 @@
 
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <stdexcept>
 #include <string>
@@ -122,6 +123,16 @@ class Formula {
 
 /// Structural equality (names compared by value).
 [[nodiscard]] bool equal(const Formula::Ptr& a, const Formula::Ptr& b);
+
+/// Canonical FNV-1a 64-bit hash of the AST: a shared postorder walk in
+/// exactly the order the snapshot FORM section (src/persist) serializes
+/// nodes, hashing each distinct node's kind, name and child ids once.
+/// Structurally equal formulas hash identically across runs and builds,
+/// which makes the hash usable as the formula half of a cross-run cache
+/// key (src/serve); `smv_check --hash` prints it so keys are derivable
+/// offline.  Argument order matters (E[p U q] != E[q U p]) and so does
+/// operator kind (EF p != EG p).
+[[nodiscard]] std::uint64_t formula_hash(const Formula::Ptr& f);
 
 /// All atomic proposition names occurring in f, sorted, deduplicated.
 [[nodiscard]] std::vector<std::string> atoms(const Formula::Ptr& f);

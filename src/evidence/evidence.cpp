@@ -10,8 +10,15 @@
 #include <utility>
 
 #include "diag/json.hpp"
+#include "version.hpp"
 
 namespace symcex::evidence {
+
+// version.hpp duplicates the schema version so the zero-dependency tools
+// can report it; this pin makes a bump that forgets the copy fail here.
+static_assert(version::kEvidenceSchemaVersion ==
+                  static_cast<unsigned>(kBundleVersion),
+              "src/version.hpp kEvidenceSchemaVersion is out of date");
 
 namespace {
 

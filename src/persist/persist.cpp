@@ -21,8 +21,14 @@
 #include <utility>
 
 #include "guard/fault.hpp"
+#include "version.hpp"
 
 namespace symcex::persist {
+
+// version.hpp duplicates the format version so the zero-dependency tools
+// can report it; this pin makes a bump that forgets the copy fail here.
+static_assert(version::kSnapshotFormatVersion == kSnapshotVersion,
+              "src/version.hpp kSnapshotFormatVersion is out of date");
 
 // ---------------------------------------------------------------------------
 // Byte packing (explicit little-endian; no struct punning)
@@ -781,6 +787,28 @@ std::string default_checkpoint_dir() {
 std::string checkpoint_basename(const std::string& model_name,
                                 const std::string& formula) {
   const std::uint64_t h = fnv1a64(formula.data(), formula.size());
+  std::ostringstream os;
+  os << sanitize_model_name(model_name) << "-" << std::hex << h << ".sxsnap";
+  return os.str();
+}
+
+std::string checkpoint_basename(const std::string& model_name,
+                                const std::string& formula,
+                                std::uint64_t ts_fingerprint) {
+  // Fold the structural fingerprint into the hashed half of the name, so
+  // two models whose names sanitize identically (e.g. "net/a" and
+  // "net?a") still land in distinct files.  Hash the fingerprint's bytes
+  // before the formula text rather than XORing afterwards: XOR of two
+  // hashes could cancel structured differences.
+  unsigned char fp[8];
+  for (int i = 0; i < 8; ++i) {
+    fp[i] = static_cast<unsigned char>(ts_fingerprint >> (8 * i));
+  }
+  std::uint64_t h = fnv1a64(fp, sizeof fp);
+  for (const unsigned char c : formula) {
+    h ^= c;
+    h *= 0x00000100000001b3ull;
+  }
   std::ostringstream os;
   os << sanitize_model_name(model_name) << "-" << std::hex << h << ".sxsnap";
   return os.str();

@@ -144,9 +144,17 @@ void save_check_snapshot(const std::string& path,
 [[nodiscard]] std::string default_checkpoint_dir();
 
 /// Deterministic checkpoint filename for a (model, formula) pair:
-/// "<sanitized-model>-<fnv64(formula) hex>.sxsnap".
+/// "<sanitized-model>-<fnv64(formula) hex>.sxsnap".  Sanitization is
+/// lossy, so two distinct models can share a sanitized name; pass the
+/// transition system's structural fingerprint (ts::TransitionSystem::
+/// fingerprint()) to keep their checkpoints from clobbering each other
+/// in one SYMCEX_CHECKPOINT_DIR:
+/// "<sanitized-model>-<fnv64(fingerprint^formula) hex>.sxsnap".
 [[nodiscard]] std::string checkpoint_basename(const std::string& model_name,
                                               const std::string& formula);
+[[nodiscard]] std::string checkpoint_basename(const std::string& model_name,
+                                              const std::string& formula,
+                                              std::uint64_t ts_fingerprint);
 
 /// FNV-1a 64-bit, the checksum the snapshot sections use.
 [[nodiscard]] std::uint64_t fnv1a64(const void* data, std::size_t size);

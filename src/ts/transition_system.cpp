@@ -196,6 +196,52 @@ void TransitionSystem::finalize() {
   if (bdd::audits_enabled()) audit();
 }
 
+std::uint64_t TransitionSystem::fingerprint() const {
+  require_finalized("fingerprint");
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  const auto mix = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xffu;
+      h *= 0x00000100000001b3ull;
+    }
+  };
+  const auto mix_str = [&](const std::string& s) {
+    mix(s.size());
+    for (const unsigned char c : s) {
+      h ^= c;
+      h *= 0x00000100000001b3ull;
+    }
+  };
+  const auto mix_support = [&](const bdd::Bdd& f) {
+    if (f.is_null()) {
+      mix(0xffffffffffffffffull);
+      return;
+    }
+    const std::vector<std::uint32_t> support = f.support();
+    mix(support.size());
+    for (const std::uint32_t v : support) mix(v);
+    mix(f.is_false() ? 1 : (f.is_true() ? 2 : 3));
+  };
+  mix(names_.size());
+  for (const std::string& name : names_) mix_str(name);
+  mix(cluster_threshold_);
+  mix_support(init_);
+  mix(parts_.size());
+  for (const bdd::Bdd& part : parts_) mix_support(part);
+  mix(fairness_.size());
+  for (const bdd::Bdd& constraint : fairness_) mix_support(constraint);
+  std::vector<std::string> label_names;
+  label_names.reserve(labels_.size());
+  for (const auto& [name, unused] : labels_) label_names.push_back(name);
+  std::sort(label_names.begin(), label_names.end());
+  mix(label_names.size());
+  for (const std::string& name : label_names) {
+    mix_str(name);
+    mix_support(labels_.at(name));
+  }
+  return h;
+}
+
 void TransitionSystem::audit() const {
   diag::Registry::global().add_in("ts", "audit_runs", 1);
   const std::string report = audit_check();

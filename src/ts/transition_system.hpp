@@ -278,6 +278,18 @@ class TransitionSystem {
   /// relation on reachable states.)
   [[nodiscard]] bool is_total_on(const bdd::Bdd& states) const;
 
+  /// Stable FNV-1a structural fingerprint of the finalized system: the
+  /// variable table (count + names), the cluster threshold, and the
+  /// support sets of init, every transition conjunct, every fairness
+  /// constraint and every label (names sorted).  Identical systems
+  /// fingerprint identically across runs; systems that differ in any of
+  /// those structural ingredients differ.  Used to disambiguate
+  /// checkpoint filenames (persist::checkpoint_basename) and as one
+  /// ingredient of the serving layer's cache key -- it is deliberately
+  /// support-level, not function-level, so it is cheap; the serving layer
+  /// layers a semantic (canonical-cover) hash on top (src/serve).
+  [[nodiscard]] std::uint64_t fingerprint() const;
+
   // -- auditing --------------------------------------------------------------
 
   /// Structural audit of the finalized system:

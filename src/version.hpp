@@ -1,0 +1,55 @@
+// SymCeX -- build identity.
+//
+// One header-only source of truth for the version/build-info line every
+// tool prints under --version, the serve daemon reports in its protocol
+// handshake, and served evidence bundles record as their producer.  It is
+// deliberately dependency-free (not even the diag library): the standalone
+// symcex-verify tool links NO engine libraries, yet must report the same
+// build identity as everything else.
+//
+// The format-version constants are duplicated here from their owning
+// modules so this header stays standalone; static_asserts in
+// src/persist/persist.cpp and src/evidence/evidence.cpp pin them to the
+// real definitions, so a bump that forgets this header fails to compile.
+
+#pragma once
+
+#include <string>
+
+namespace symcex::version {
+
+/// Release version of the SymCeX tree (bumped per feature PR).
+inline constexpr const char kVersion[] = "0.10.0";
+
+/// persist::kSnapshotVersion (pinned by static_assert in persist.cpp).
+inline constexpr unsigned kSnapshotFormatVersion = 1;
+/// evidence::kBundleVersion (pinned by static_assert in evidence.cpp).
+inline constexpr unsigned kEvidenceSchemaVersion = 1;
+/// Wire-protocol version of the check-serving layer (src/serve): bumped on
+/// any change that could make an existing client misread a frame.
+inline constexpr unsigned kServeProtocolVersion = 1;
+
+/// The compiler that produced this build, as reported by the front end.
+[[nodiscard]] inline const char* compiler() {
+#if defined(__VERSION__) && defined(__clang__)
+  return "clang " __VERSION__;
+#elif defined(__VERSION__)
+  return "gcc " __VERSION__;
+#else
+  return "unknown-compiler";
+#endif
+}
+
+/// The one-line build identity, e.g.
+///   "symcex-verify 0.10.0 (snapshot-format 1, evidence-schema 1,
+///    serve-protocol 1; gcc 13.2.0)"
+/// Deterministic for a given build (no timestamps), so bundles that record
+/// it stay byte-stable across emissions.
+[[nodiscard]] inline std::string build_info(const std::string& tool) {
+  return tool + " " + kVersion + " (snapshot-format " +
+         std::to_string(kSnapshotFormatVersion) + ", evidence-schema " +
+         std::to_string(kEvidenceSchemaVersion) + ", serve-protocol " +
+         std::to_string(kServeProtocolVersion) + "; " + compiler() + ")";
+}
+
+}  // namespace symcex::version

@@ -308,5 +308,46 @@ TEST_P(CtlRoundTrip, PrintParseIsIdentity) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, CtlRoundTrip, ::testing::Range(0, 10));
 
+// formula_hash is the formula half of the serve cache key, so it must be
+// stable across spellings of one AST and sensitive to anything that
+// changes semantics: operator kind, argument order, atom names.
+TEST(FormulaHash, StableAcrossSpellingsOfOneFormula) {
+  const auto a = parse("AG EF zero");
+  const auto b = parse("AG  EF  (zero)");
+  ASSERT_TRUE(equal(a, b));
+  EXPECT_EQ(formula_hash(a), formula_hash(b));
+  // Re-parsing the printed form lands on the same hash too.
+  EXPECT_EQ(formula_hash(a), formula_hash(parse(to_string(a))));
+}
+
+TEST(FormulaHash, ArgumentOrderAndKindMatter) {
+  using F = Formula;
+  const auto p = F::atom("p");
+  const auto q = F::atom("q");
+  EXPECT_NE(formula_hash(F::EU(p, q)), formula_hash(F::EU(q, p)));
+  EXPECT_NE(formula_hash(F::AU(p, q)), formula_hash(F::AU(q, p)));
+  EXPECT_NE(formula_hash(F::EU(p, q)), formula_hash(F::AU(p, q)));
+  EXPECT_NE(formula_hash(F::EF(p)), formula_hash(F::EG(p)));
+  EXPECT_NE(formula_hash(F::EF(p)), formula_hash(F::AF(p)));
+}
+
+TEST(FormulaHash, AtomNamesMatter) {
+  EXPECT_NE(formula_hash(parse("AG EF zero")),
+            formula_hash(parse("AG EF one")));
+  EXPECT_NE(formula_hash(parse("p")), formula_hash(parse("q")));
+}
+
+// Random structurally-equal pairs agree; structurally distinct random
+// formulas essentially never collide (a collision here would silently
+// alias two cache keys).
+TEST(FormulaHash, RandomFormulasRoundTripAndRarelyCollide) {
+  std::mt19937 rng(20260808u);
+  for (int round = 0; round < 50; ++round) {
+    const auto f = prop::random_ctl(rng, 4);
+    const auto g = parse(to_string(f));
+    EXPECT_EQ(formula_hash(f), formula_hash(g)) << to_string(f);
+  }
+}
+
 }  // namespace
 }  // namespace symcex::ctl

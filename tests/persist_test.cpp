@@ -210,7 +210,8 @@ TEST(CheckSnapshot, CompletedCheckDiscardsItsMarginCheckpoint) {
   core::Checker ck(*ts, opt);
 
   const std::string would_be_stale =
-      dir + "/" + persist::checkpoint_basename("counter", "AG EF zero");
+      dir + "/" +
+      persist::checkpoint_basename("counter", "AG EF zero", ts->fingerprint());
   std::remove(would_be_stale.c_str());  // TempDir persists across runs
 
   // A completed verdict must not leave a stale resume point behind.
@@ -218,7 +219,8 @@ TEST(CheckSnapshot, CompletedCheckDiscardsItsMarginCheckpoint) {
   EXPECT_EQ(out.verdict, core::Verdict::kTrue);
   EXPECT_TRUE(out.checkpoint_path.empty());
   const std::string would_be =
-      dir + "/" + persist::checkpoint_basename("counter", "AG EF zero");
+      dir + "/" +
+      persist::checkpoint_basename("counter", "AG EF zero", ts->fingerprint());
   std::ifstream probe(would_be, std::ios::binary);
   EXPECT_FALSE(probe.good()) << would_be << " should not exist";
 }
@@ -243,6 +245,32 @@ TEST(CheckSnapshot, CheckpointBasenameIsSanitizedAndStable) {
   EXPECT_EQ(a.find('/'), std::string::npos);
   EXPECT_EQ(a.find(' '), std::string::npos);
   EXPECT_NE(a, persist::checkpoint_basename("a/b c", "AG q"));
+  EXPECT_EQ(a.substr(a.size() - 7), ".sxsnap");
+}
+
+// Regression: sanitization is lossy, so two *different* models sharing a
+// sanitized name and formula used to clobber each other's checkpoint in
+// one SYMCEX_CHECKPOINT_DIR.  The fingerprint-taking overload keeps their
+// basenames distinct while staying deterministic per model.
+TEST(CheckSnapshot, CheckpointBasenameSeparatesCollidingModels) {
+  // "m/1" and "m:1" sanitize identically -- the 2-arg basenames collide.
+  EXPECT_EQ(persist::checkpoint_basename("m/1", "AG p"),
+            persist::checkpoint_basename("m:1", "AG p"));
+
+  // Two structurally different systems under those names stay apart.
+  auto small = models::counter({.width = 3});
+  auto large = models::counter({.width = 4});
+  const std::string a =
+      persist::checkpoint_basename("m/1", "AG p", small->fingerprint());
+  const std::string b =
+      persist::checkpoint_basename("m:1", "AG p", large->fingerprint());
+  EXPECT_NE(a, b);
+  // Deterministic: same inputs, same name.
+  EXPECT_EQ(a,
+            persist::checkpoint_basename("m/1", "AG p", small->fingerprint()));
+  // Still distinguishes formulas under one model.
+  EXPECT_NE(a,
+            persist::checkpoint_basename("m/1", "AG q", small->fingerprint()));
   EXPECT_EQ(a.substr(a.size() - 7), ".sxsnap");
 }
 

@@ -17,6 +17,7 @@
 #include <memory>
 #include <string>
 #include <sys/stat.h>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -228,6 +229,72 @@ TEST(ResumeMatrix, DoubleInterruptionStillConverges) {
                                  resumed.formula, ex.explain(resumed.spec))
           .to_json();
   EXPECT_EQ(resumed_json, baseline_json);
+}
+
+// One checkpoint file, many readers: the serve daemon warm-starts several
+// sessions from snapshots concurrently, so load_check_snapshot must be
+// safe to call from N threads on the same file, each load landing in its
+// own manager and finishing to byte-identical evidence.
+TEST(ResumeMatrix, ConcurrentSnapshotLoadsAreByteIdentical) {
+  const MatrixCase& c = kMatrix[0];  // counter, AG EF zero
+  const std::string dir = ::testing::TempDir() + "symcex_resume_conc";
+  ::mkdir(dir.c_str(), 0755);
+
+  const ctl::Formula::Ptr spec = ctl::parse(c.spec);
+  const std::string formula = ctl::to_string(spec);
+
+  std::string baseline_json;
+  {
+    auto sys = c.build();
+    core::Checker ck(*sys);
+    core::Explainer ex(ck);
+    baseline_json = evidence::from_explanation(*sys, "conc", formula,
+                                               ex.explain(spec))
+                        .to_json();
+  }
+
+  std::string checkpoint;
+  {
+    auto sys = c.build();
+    core::CheckOptions opt;
+    opt.checkpoint_dir = dir;
+    opt.model_name = "conc";
+    core::Checker ck(*sys, opt);
+    core::Explainer ex(ck);
+    FaultGuard fault("deadline@eu:3");
+    const core::CheckOutcome out = ex.check(spec);
+    ASSERT_EQ(out.verdict, core::Verdict::kUnknown);
+    ASSERT_FALSE(out.checkpoint_path.empty());
+    checkpoint = out.checkpoint_path;
+  }
+
+  constexpr int kThreads = 4;
+  std::vector<std::string> jsons(kThreads);
+  std::vector<std::string> audits(kThreads, "unset");
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int i = 0; i < kThreads; ++i) {
+      threads.emplace_back([&, i] {
+        // Each thread gets its own rebuilt system + manager; the file is
+        // only ever read.
+        core::ResumedCheck resumed = core::resume_check(checkpoint);
+        core::Explainer ex(*resumed.checker);
+        jsons[i] = evidence::from_explanation(*resumed.system,
+                                              resumed.model_name,
+                                              resumed.formula,
+                                              ex.explain(resumed.spec))
+                       .to_json();
+        audits[i] = resumed.system->manager().audit_check();
+      });
+    }
+    for (std::thread& t : threads) t.join();
+  }
+  for (int i = 0; i < kThreads; ++i) {
+    SCOPED_TRACE(i);
+    EXPECT_EQ(jsons[i], baseline_json);
+    EXPECT_EQ(audits[i], "");
+  }
 }
 
 }  // namespace

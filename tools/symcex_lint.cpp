@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "analyze/analyze.hpp"
+#include "version.hpp"
 
 int main(int argc, char** argv) {
   using namespace symcex;
@@ -30,7 +31,10 @@ int main(int argc, char** argv) {
   std::vector<std::string> paths;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (arg == "--json") {
+    if (arg == "--version") {
+      std::cout << version::build_info("symcex-lint") << "\n";
+      return 0;
+    } else if (arg == "--json") {
       json = true;
     } else if (!arg.empty() && arg[0] == '-') {
       std::cerr << "usage: symcex-lint [--json] model.smv [more.smv ...]\n";

@@ -24,6 +24,7 @@
 
 #include "bdd/bdd.hpp"
 #include "persist/persist.hpp"
+#include "version.hpp"
 
 namespace {
 
@@ -81,9 +82,14 @@ int demo(const std::string& out_path) {
 
 int main(int argc, char** argv) {
   const auto usage = [] {
-    std::cerr << "usage: symcex-snap info|load|demo FILE.sxsnap\n";
+    std::cerr << "usage: symcex-snap info|load|demo FILE.sxsnap\n"
+                 "       symcex-snap --version\n";
     return 2;
   };
+  if (argc == 2 && std::string(argv[1]) == "--version") {
+    std::cout << symcex::version::build_info("symcex-snap") << "\n";
+    return 0;
+  }
   if (argc != 3) return usage();
   const std::string mode = argv[1];
   const std::string path = argv[2];

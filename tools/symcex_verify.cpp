@@ -34,6 +34,7 @@
 #include <vector>
 
 #include "json_mini.hpp"
+#include "version.hpp"
 
 namespace {
 
@@ -510,6 +511,10 @@ int main(int argc, char** argv) {
   const std::string first = argv[1];
   if (first == "--help" || first == "-h") {
     print_help();
+    return kExitOk;
+  }
+  if (first == "--version") {
+    std::cout << symcex::version::build_info("symcex-verify") << "\n";
     return kExitOk;
   }
   bool any_failed = false;
